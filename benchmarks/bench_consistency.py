@@ -1,0 +1,93 @@
+"""Consistency-distillation ablation (paper Section VII-C future work):
+distill the trained TrigFlow teacher into a one-step student and compare
+inference cost and one-step forecast quality against the 10-step solver.
+
+"...consistency distillation, which allows us to compress the model size
+and reduce inference to a single step, thereby lowering computational cost
+by orders of magnitude for generating new forecasts."
+"""
+
+import numpy as np
+from conftest import BENCH_CONFIG, write_result
+
+from repro.data import TOY_SET
+from repro.diffusion import (
+    ConsistencyConfig,
+    ConsistencyDistiller,
+    SolverConfig,
+)
+from repro.eval import rmse
+from repro.model import Aeris
+
+
+def distill(archive, aeris_trainer, n_steps=120):
+    teacher = Aeris(BENCH_CONFIG)
+    teacher.load_state_dict(aeris_trainer.model.state_dict())
+    aeris_trainer.ema.copy_to(teacher)
+    teacher.eval()
+    student = Aeris(BENCH_CONFIG)
+    student.load_state_dict(teacher.state_dict())
+    distiller = ConsistencyDistiller(teacher, student,
+                                     config=ConsistencyConfig(seed=0))
+    state_norm = aeris_trainer.state_norm
+    res_norm = aeris_trainer.residual_norm
+    forc_norm = aeris_trainer.forcing_norm
+    rng = np.random.default_rng(0)
+    train_idx = archive.split_indices("train")
+    for _ in range(n_steps):
+        idx = rng.choice(train_idx, size=4, replace=False)
+        cond, residual, forc = archive.training_batch(
+            idx, state_norm, res_norm, forc_norm)
+        distiller.train_step(residual, cond, forc)
+    return distiller
+
+
+def one_step_vs_solver(archive, aeris_trainer, distiller):
+    """Compare one forecast step: 10-step diffusion vs 1-step consistency."""
+    fc = aeris_trainer.forecaster(SolverConfig(n_steps=10))
+    idxs = archive.split_indices("test")[10:16]
+    z = TOY_SET.index("Z500")
+    err_solver, err_onestep = [], []
+    for i in idxs:
+        i = int(i)
+        state = archive.fields[i]
+        truth = archive.fields[i + 1]
+        pred_solver = fc.step(state, i, np.random.default_rng(i))
+        cond = aeris_trainer.state_norm.normalize(state)
+        forc = aeris_trainer.forcing_norm.normalize(
+            archive.forcing_provider(archive.gcm_step(i)))
+        res = distiller.sample_one_step(cond, forc,
+                                        np.random.default_rng(i + 1))
+        pred_onestep = state + aeris_trainer.residual_norm.denormalize(res)
+        err_solver.append(float(rmse(pred_solver[..., z], truth[..., z],
+                                     archive.grid)))
+        err_onestep.append(float(rmse(pred_onestep[..., z], truth[..., z],
+                                      archive.grid)))
+    return float(np.mean(err_solver)), float(np.mean(err_onestep))
+
+
+def test_consistency_distillation(benchmark, bench_archive, aeris_trainer):
+    distiller = benchmark.pedantic(
+        distill, args=(bench_archive, aeris_trainer), rounds=1, iterations=1)
+    err_solver, err_onestep = one_step_vs_solver(bench_archive,
+                                                 aeris_trainer, distiller)
+    nfe_teacher = distiller.teacher_sample_cost(SolverConfig(n_steps=10))
+    losses = np.asarray(distiller.history)
+    text = "\n".join([
+        "Consistency distillation (teacher: trained AERIS TrigFlow)",
+        f"  distillation loss: {losses[:10].mean():.4f} -> "
+        f"{losses[-10:].mean():.4f} over {len(losses)} steps",
+        f"  network evaluations per forecast step: teacher {nfe_teacher} "
+        f"vs student 1 ({nfe_teacher}x cheaper)",
+        f"  1-step Z500 RMSE: solver(10 steps) {err_solver:.2f} vs "
+        f"one-step student {err_onestep:.2f}",
+        "  paper: distillation 'reduces inference to a single step, "
+        "lowering computational cost by orders of magnitude'",
+    ]) + "\n"
+    write_result("consistency_distillation.txt", text)
+
+    assert np.isfinite(losses).all()
+    assert losses[-10:].mean() < losses[:10].mean()
+    assert nfe_teacher == 20
+    # One-step quality within 2.5x of the full solver at this budget.
+    assert err_onestep < 2.5 * err_solver

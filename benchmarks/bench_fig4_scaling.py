@@ -1,0 +1,95 @@
+"""Figure 4 — strong and weak scaling of training on Aurora.
+
+Regenerates:
+* 4a (top): strong scaling of the 40B model via GAS (paper: 81.6%) and via
+  WP 36 -> 64 -> 144 (paper: 100% / 87% / 64%);
+* 4a (bottom) + 4b: weak scaling images/s and sustained FLOPS for all
+  configurations (paper: 95.5% efficiency for 40B at 10,080 nodes).
+"""
+
+from conftest import write_result
+
+from repro.model import TABLE_II
+from repro.perf import (
+    AURORA,
+    scaling_efficiency,
+    strong_scaling_gas,
+    strong_scaling_wp,
+    weak_scaling_series,
+)
+
+PAPER_DP = {"1.3B": 40, "13B": 30, "40B": 14, "80B": 5}
+
+
+def run_series():
+    cfg40 = TABLE_II["40B"]
+    wp = strong_scaling_wp(cfg40, AURORA, gbs=140,
+                           wp_grids=[(6, 6), (8, 8), (12, 12)])
+    gas = strong_scaling_gas(cfg40, AURORA, gbs=1960,
+                             dp_values=[1, 2, 7, 14])
+    weak = {}
+    for name in ("1.3B", "13B", "40B", "80B"):
+        top_dp = PAPER_DP[name]
+        dps = sorted({1, 2, max(top_dp // 4, 1), max(top_dp // 2, 1), top_dp})
+        weak[name] = weak_scaling_series(TABLE_II[name], AURORA, dps)
+    return wp, gas, weak
+
+
+def build_report(wp, gas, weak) -> str:
+    lines = ["Figure 4 — scaling of AERIS training on Aurora "
+             "(analytical model)"]
+    lines.append("\n[4a top] 40B strong scaling via WP (GBS=140, DP=1):")
+    effs = scaling_efficiency(wp)
+    for est, eff in zip(wp, effs):
+        lines.append(f"  WP={est.nodes // est.dp // 20:>4d} nodes={est.nodes:>5d}"
+                     f" img/s={est.images_per_sec:7.3f} eff={eff * 100:5.1f}%")
+    lines.append("  paper: 100% / 87% / 64%")
+    lines.append("\n[4a top] 40B strong scaling via GAS (GBS=1960):")
+    effs = scaling_efficiency(gas)
+    for est, eff in zip(gas, effs):
+        lines.append(f"  DP={est.dp:>3d} nodes={est.nodes:>6d} "
+                     f"img/s={est.images_per_sec:7.2f} eff={eff * 100:5.1f}%")
+    lines.append("  paper: 81.6% overall")
+    lines.append("\n[4a bottom / 4b] weak scaling (img/s and sustained EF):")
+    for name, series in weak.items():
+        effs = scaling_efficiency(series)
+        lines.append(f"  {name}:")
+        for est, eff in zip(series, effs):
+            lines.append(
+                f"    DP={est.dp:>3d} nodes={est.nodes:>6d} "
+                f"img/s={est.images_per_sec:8.2f} EF(S)={est.ef_sustained:6.2f}"
+                f" eff={eff * 100:5.1f}%")
+    lines.append("  paper: 95.5% weak-scaling efficiency for 40B at 10,080 "
+                 "nodes; ~18x throughput gap 1.3B vs 40B at 1,440 nodes")
+    return "\n".join(lines) + "\n"
+
+
+def test_fig4_scaling(benchmark):
+    wp, gas, weak = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    write_result("fig4_scaling.txt", build_report(wp, gas, weak))
+
+    wp_eff = scaling_efficiency(wp)
+    assert abs(wp_eff[1] - 0.87) < 0.05
+    assert abs(wp_eff[2] - 0.64) < 0.06
+
+    gas_eff = scaling_efficiency(gas)
+    assert abs(gas_eff[-1] - 0.816) < 0.05
+
+    weak_eff_40b = scaling_efficiency(weak["40B"])
+    assert abs(weak_eff_40b[-1] - 0.955) < 0.04
+    # Weak scaling is near-linear for every configuration.
+    for name, series in weak.items():
+        for eff in scaling_efficiency(series):
+            assert eff > 0.85, name
+
+    # Paper: at ~1,440 nodes the 1.3B model has ~18x the 40B throughput.
+    from repro.parallel import RankTopology
+    from repro.perf import estimate_performance
+    t13 = estimate_performance(
+        TABLE_II["1.3B"], AURORA,
+        RankTopology(dp=30, pp=12, wp_grid=(2, 2), sp=12), gbs=30 * 60)
+    t40 = estimate_performance(
+        TABLE_II["40B"], AURORA,
+        RankTopology(dp=2, pp=20, wp_grid=(6, 6), sp=12), gbs=2 * 140)
+    ratio = t13.images_per_sec / t40.images_per_sec
+    assert 8 < ratio < 40  # paper: ~18x

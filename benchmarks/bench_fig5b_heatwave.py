@@ -1,0 +1,93 @@
+"""Figure 5b — heatwave case study.
+
+Finds a real heatwave event in the test period (via the truth GCM's
+internal event list, standing in for the August-2020 London heatwave),
+launches an AERIS ensemble a few days ahead, and checks the ensemble
+captures the temperature rise at the event location.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.data import TOY_SET
+from repro.diffusion import SolverConfig
+from repro.eval import heatwave_hit_rate, point_series
+
+
+def find_heatwave(archive):
+    """Strongest in-progress heatwave in the test split: returns
+    (peak_index, lat, lon)."""
+    lo, hi = archive.splits["test"]
+    best = None
+    for i in range(lo, hi, 8):
+        state = archive.internal_state_at(i)
+        for hw in state.heatwaves:
+            env = archive.gcm._event_envelope(hw.age_days, hw.duration_days)
+            strength = hw.amplitude * env
+            if best is None or strength > best[0]:
+                best = (strength, i, hw.lat, hw.lon, hw.age_days,
+                        hw.duration_days)
+    if best is None:
+        return None
+    _, i, lat, lon, age, duration = best
+    return i, lat, lon, age, duration
+
+
+def run_case(archive, aeris_trainer):
+    found = find_heatwave(archive)
+    assert found is not None, "no heatwave in the test period"
+    peak_idx, lat, lon, age, duration = found
+    lead_steps = 8  # 2-day lead: event already ramping, like the paper's
+    # "all ensemble members capture the sharp rise" regime
+    init = peak_idx - lead_steps
+    horizon = lead_steps + 16  # through the event decay
+    fc = aeris_trainer.forecaster(SolverConfig(n_steps=4, churn=0.3))
+    ens = fc.ensemble_rollout(archive.fields[init], horizon, 5, seed=31,
+                              start_index=init)
+    truth = archive.fields[init:init + horizon + 1]
+    clim = archive.daily_climatology()
+    clim_series = np.array([
+        archive.climatology_at(clim, init + k)[
+            archive.grid.lat_index(lat), archive.grid.lon_index(lon),
+            TOY_SET.index("T2M")]
+        for k in range(horizon + 1)])
+    truth_series = point_series(truth, archive.grid, lat, lon)
+    member_series = np.stack([
+        point_series(ens[m], archive.grid, lat, lon)
+        for m in range(ens.shape[0])])
+    return (peak_idx, lat, lon, truth_series, member_series, clim_series,
+            lead_steps)
+
+
+def test_fig5b_heatwave(benchmark, bench_archive, aeris_trainer):
+    (peak_idx, lat, lon, truth_series, member_series, clim_series,
+     lead_steps) = benchmark.pedantic(
+        run_case, args=(bench_archive, aeris_trainer), rounds=1,
+        iterations=1)
+    truth_anom = truth_series - clim_series
+    ens_anom = member_series - clim_series[None]
+    lines = [
+        f"Figure 5b — heatwave case study at ({lat:.1f}N, {lon:.1f}E), "
+        f"forecast initialized {lead_steps * 6} h before the event peak "
+        f"(archive step {peak_idx})",
+        f"{'step':>5s} {'truth T2M anom':>15s} {'ens mean':>10s} "
+        f"{'ens min':>9s} {'ens max':>9s}",
+    ]
+    for k in range(truth_series.shape[0]):
+        lines.append(f"{k:>5d} {truth_anom[k]:>15.2f} "
+                     f"{ens_anom[:, k].mean():>10.2f} "
+                     f"{ens_anom[:, k].min():>9.2f} "
+                     f"{ens_anom[:, k].max():>9.2f}")
+    hit = heatwave_hit_rate(member_series, clim_series, threshold=2.0,
+                            min_steps=3)
+    lines.append(f"\nensemble hit rate (>= 2K for >= 18h): {hit:.2f}")
+    write_result("fig5b_heatwave.txt", "\n".join(lines) + "\n")
+
+    # Shape assertions, scoped to the toy model's capability: the truth
+    # shows a sustained warm anomaly; the ensemble carries the ongoing
+    # event forward in the short range (members stay warm over the first
+    # day) and a majority of members register the heatwave.
+    assert truth_anom[lead_steps] > 1.0
+    first_day = ens_anom[:, 1:5].mean()
+    assert first_day > 0.0, "ensemble dropped the ongoing heatwave immediately"
+    assert hit >= 0.5

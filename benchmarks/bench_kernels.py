@@ -1,0 +1,105 @@
+"""Kernel microbenchmarks: the hot operations of the reproduction.
+
+These use pytest-benchmark's statistical timing (multiple rounds), unlike
+the figure benches which run their expensive workload once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import GcmConfig, LatLonGrid, StaticFields, ToyGCM
+from repro.model import TINY, Aeris, window_merge, window_partition
+from repro.nn import MultiHeadAttention
+from repro.parallel import SimCluster, shard_sequence, ulysses_attention
+from repro.tensor import Tensor, no_grad
+
+rng = np.random.default_rng(0)
+
+
+def test_window_partition_roundtrip(benchmark):
+    x = Tensor(rng.normal(size=(4, 32, 64, 32)).astype(np.float32))
+
+    def roundtrip():
+        w = window_partition(x, (8, 8))
+        return window_merge(w, (32, 64), (8, 8))
+
+    out = benchmark(roundtrip)
+    assert out.shape == x.shape
+
+
+def test_window_attention_forward(benchmark):
+    attn = MultiHeadAttention(64, 4, rng=rng)
+    x = Tensor(rng.normal(size=(2, 16, 64, 64)).astype(np.float32))
+
+    def forward():
+        with no_grad():
+            return attn(x)
+
+    out = benchmark(forward)
+    assert out.shape == x.shape
+
+
+def test_ulysses_alltoall_attention(benchmark):
+    sp = 4
+    cluster = SimCluster(sp, ranks_per_node=sp)
+    shape = (8, 64, 4, 16)
+    q = rng.normal(size=shape).astype(np.float32)
+    k = rng.normal(size=shape).astype(np.float32)
+    v = rng.normal(size=shape).astype(np.float32)
+    qs, ks, vs = (shard_sequence(a, sp) for a in (q, k, v))
+
+    out = benchmark(lambda: ulysses_attention(cluster, list(range(sp)),
+                                              qs, ks, vs))
+    assert len(out) == sp
+
+
+def test_gcm_step(benchmark):
+    grid = LatLonGrid(24, 48)
+    gcm = ToyGCM(grid, StaticFields.generate(grid), GcmConfig())
+    state = gcm.initial_state(seed=0, spinup_steps=40)
+    benchmark(lambda: gcm.step(state))
+
+
+def test_gcm_diagnostics(benchmark):
+    grid = LatLonGrid(24, 48)
+    gcm = ToyGCM(grid, StaticFields.generate(grid), GcmConfig())
+    state = gcm.initial_state(seed=0, spinup_steps=40)
+    fields = benchmark(lambda: gcm.diagnostics(state))
+    assert fields.shape == (24, 48, 9)
+
+
+def test_aeris_forward_tiny(benchmark):
+    model = Aeris(TINY, seed=0)
+    cfg = TINY
+    x_t = Tensor(rng.normal(size=(1, cfg.height, cfg.width, cfg.channels)
+                            ).astype(np.float32))
+    t = Tensor(np.array([0.5], np.float32))
+    cond = Tensor(rng.normal(size=x_t.shape).astype(np.float32))
+    forc = Tensor(rng.normal(
+        size=(1, cfg.height, cfg.width, cfg.forcing_channels)
+    ).astype(np.float32))
+
+    def forward():
+        with no_grad():
+            return model(x_t, t, cond, forc)
+
+    out = benchmark(forward)
+    assert out.shape == x_t.shape
+
+
+def test_aeris_train_step_tiny(benchmark):
+    model = Aeris(TINY, seed=0)
+    cfg = TINY
+    x_t = rng.normal(size=(2, cfg.height, cfg.width, cfg.channels)
+                     ).astype(np.float32)
+    t = np.full(2, 0.5, np.float32)
+    cond = rng.normal(size=x_t.shape).astype(np.float32)
+    forc = rng.normal(size=(2, cfg.height, cfg.width, cfg.forcing_channels)
+                      ).astype(np.float32)
+
+    def step():
+        model.zero_grad()
+        out = model(Tensor(x_t), Tensor(t), Tensor(cond), Tensor(forc))
+        (out ** 2).mean().backward()
+
+    benchmark(step)

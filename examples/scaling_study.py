@@ -1,0 +1,82 @@
+"""SWiPe scaling study: run the distributed training engine on the
+simulated cluster, inspect the metered communication, and print the
+analytical full-machine projections (Tables II/III, Figure 4).
+
+    python examples/scaling_study.py        (~1 minute)
+"""
+
+import numpy as np
+
+from repro.data import ReanalysisConfig, SyntheticReanalysis
+from repro.model import TABLE_II, AerisConfig, ParallelLayout, count_parameters
+from repro.parallel import RankTopology, SwipeEngine
+from repro.perf import (
+    AURORA,
+    estimate_performance,
+    scaling_efficiency,
+    strong_scaling_wp,
+    weak_scaling_series,
+)
+
+
+def simulated_training_demo() -> None:
+    """A real SWiPe training step (DP x PP x WP x SP) on the simulated
+    cluster, with byte-metered collectives."""
+    print("== Simulated SWiPe training step (tiny model) ==")
+    archive = SyntheticReanalysis(ReanalysisConfig(
+        height=16, width=32, train_years=0.3, val_years=0.1,
+        test_years=0.1, seed=0, spinup_steps=80))
+    config = AerisConfig(
+        name="demo", height=16, width=32, channels=9, forcing_channels=3,
+        dim=32, heads=4, ffn_dim=64, swin_layers=2, blocks_per_layer=2,
+        window=(4, 4), time_freqs=8,
+        layout=ParallelLayout(wp=4, wp_grid=(2, 2), pp=4, sp=2, gas=2))
+    topo = RankTopology(dp=2, pp=4, wp_grid=(2, 2), sp=2)
+    engine = SwipeEngine(config, archive, topo, lr=1e-3, seed=0)
+    print(f"  topology: DP={topo.dp} x PP={topo.pp} x WP={topo.wp} x "
+          f"SP={topo.sp} = {topo.world_size} ranks on {topo.nodes} nodes")
+
+    idx = archive.split_indices("train")[:8]
+    cond, residual, forc = archive.training_batch(
+        idx, archive.state_normalizer(), archive.residual_normalizer(),
+        archive.forcing_normalizer())
+    x_t, t, v = engine.make_training_pairs(residual)
+    loss = engine.train_step(x_t, t, v, cond, forc, gas=2)
+    print(f"  loss: {loss:.4f}")
+    stats = engine.cluster.stats
+    for prim in ("p2p", "allreduce", "allgather"):
+        print(f"  {prim:10s}: {stats.total_bytes(prim) / 1e6:8.2f} MB "
+              f"({'PP activations' if prim == 'p2p' else 'DP gradients' if prim == 'allreduce' else 'ZeRO-1 params'})")
+
+
+def full_machine_projections() -> None:
+    print("\n== Full-machine projections (analytical model) ==")
+    for name, cfg in TABLE_II.items():
+        if name.endswith("(L)"):
+            continue
+        lay = cfg.layout
+        dp = {"1.3B": 40, "13B": 30, "40B": 14, "80B": 5}[name]
+        gbs = dp * lay.gas
+        topo = RankTopology(dp=dp, pp=lay.pp, wp_grid=lay.wp_grid, sp=lay.sp)
+        est = estimate_performance(cfg, AURORA, topo, gbs=gbs)
+        print(f"  {name:5s} ({count_parameters(cfg) / 1e9:5.1f}B params, "
+              f"{est.nodes:6d} nodes): {est.images_per_sec:7.1f} img/s, "
+              f"{est.ef_sustained:5.2f} EF sustained, MFU "
+              f"{est.mfu * 100:4.1f}%")
+
+    cfg = TABLE_II["40B"]
+    print("\n  40B weak scaling (paper: 95.5% at 10,080 nodes):")
+    series = weak_scaling_series(cfg, AURORA, [1, 2, 4, 8, 14])
+    for est, eff in zip(series, scaling_efficiency(series)):
+        print(f"    {est.nodes:6d} nodes: {est.images_per_sec:6.1f} img/s "
+              f"({eff * 100:5.1f}%)")
+    print("\n  40B WP strong scaling (paper: 100/87/64%):")
+    series = strong_scaling_wp(cfg, AURORA, 140, [(6, 6), (8, 8), (12, 12)])
+    for est, eff in zip(series, scaling_efficiency(series)):
+        print(f"    WP={est.nodes // 20:4d}: {est.images_per_sec:6.2f} img/s "
+              f"({eff * 100:5.1f}%)")
+
+
+if __name__ == "__main__":
+    simulated_training_demo()
+    full_machine_projections()

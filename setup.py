@@ -1,0 +1,5 @@
+"""Setup shim: allows `pip install -e .` / `python setup.py develop` on
+environments whose pip lacks the `wheel` package (PEP 660 fallback)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""AERIS reproduction: Argonne Earth Systems Model for Reliable and
+Skillful Predictions (SC 2025).
+
+A from-scratch, pure-NumPy reproduction of the complete AERIS system:
+
+* :mod:`repro.tensor` — autograd engine with FLOP counting + emulated BF16;
+* :mod:`repro.nn` — transformer layer library (RMSNorm, SwiGLU, attention,
+  AdamW, EMA);
+* :mod:`repro.model` — the pixel-level Swin diffusion transformer and the
+  paper's Table II configurations;
+* :mod:`repro.diffusion` — TrigFlow objective, DPMSolver++ 2S sampler with
+  trigonometric churn, ensemble forecaster;
+* :mod:`repro.data` — toy spectral GCM + synthetic ERA5-like reanalysis,
+  forcings, normalization, WP-sharded loading;
+* :mod:`repro.parallel` — SWiPe (window + sequence + pipeline + data
+  parallelism, ZeRO-1) on a metered simulated cluster;
+* :mod:`repro.perf` — the analytical performance model behind the paper's
+  ExaFLOPS and scaling results;
+* :mod:`repro.train` / :mod:`repro.baselines` / :mod:`repro.eval` —
+  training, comparison systems, and verification metrics.
+
+Quickstart::
+
+    from repro import quickstart_components
+    archive, trainer = quickstart_components()
+    trainer.fit(200)
+    forecaster = trainer.forecaster()
+"""
+
+from . import baselines, data, diffusion, eval, model, nn, parallel, perf
+from . import tensor, train
+from .data import ReanalysisConfig, SyntheticReanalysis
+from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
+from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
+from .train import Trainer, TrainerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor", "nn", "model", "diffusion", "data", "parallel", "perf",
+    "train", "baselines", "eval",
+    "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
+    "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
+    "SyntheticReanalysis", "ReanalysisConfig",
+    "Trainer", "TrainerConfig",
+    "quickstart_components",
+]
+
+
+def quickstart_components(height: int = 16, width: int = 32,
+                          train_years: float = 0.5, seed: int = 0,
+                          test_years: float = 0.2):
+    """Build a small archive + trainer pair ready to ``fit()``."""
+    archive = SyntheticReanalysis(ReanalysisConfig(
+        height=height, width=width, train_years=train_years,
+        val_years=0.1, test_years=test_years, seed=seed))
+    config = AerisConfig(
+        name="quickstart", height=height, width=width, channels=9,
+        forcing_channels=3, dim=32, heads=4, ffn_dim=64, swin_layers=2,
+        blocks_per_layer=2, window=(4, 4), time_freqs=8)
+    trainer = Trainer(Aeris(config, seed=seed), archive,
+                      TrainerConfig(batch_size=4, peak_lr=3e-3,
+                                    warmup_images=80, total_images=40_000,
+                                    decay_images=400, seed=seed))
+    return archive, trainer

@@ -1,0 +1,26 @@
+"""Climatology baseline: forecast the day-of-year training mean."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import SyntheticReanalysis
+
+__all__ = ["ClimatologyForecaster"]
+
+
+class ClimatologyForecaster:
+    """Forecasts the training-period day-of-year climatology at each valid
+    time — the skill floor every real forecast must beat at short leads."""
+
+    def __init__(self, archive: SyntheticReanalysis):
+        self.archive = archive
+        self.clim = archive.daily_climatology()
+
+    def rollout(self, start_index: int, n_steps: int) -> np.ndarray:
+        """``(n_steps + 1, H, W, C)``: climatology valid at each lead."""
+        out = np.empty((n_steps + 1,) + self.archive.fields.shape[1:],
+                       dtype=np.float32)
+        for k in range(n_steps + 1):
+            out[k] = self.archive.climatology_at(self.clim, start_index + k)
+        return out

@@ -1,0 +1,12 @@
+"""Persistence baseline: tomorrow equals today."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["persistence_forecast"]
+
+
+def persistence_forecast(state0: np.ndarray, n_steps: int) -> np.ndarray:
+    """``(n_steps + 1, H, W, C)`` of the initial condition repeated."""
+    return np.broadcast_to(state0, (n_steps + 1,) + state0.shape).copy()

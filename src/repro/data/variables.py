@@ -1,0 +1,106 @@
+"""Variable inventories and the kappa(v) variable weighting.
+
+Two inventories are provided:
+
+* :data:`ERA5_FULL` — the paper's full prognostic set: five surface-level
+  variables (T2m, U10, V10, MSLP, SST) and five atmospheric variables
+  (Z, T, U, V, Q) at the 13 WeatherBench2 pressure levels (70 channels).
+  Used symbolically by the performance model and documentation.
+* :data:`TOY_SET` — the 9-channel subset carried by the toy reanalysis,
+  covering every variable family the paper's evaluation uses (T2m for
+  heatwaves, MSLP/wind for cyclones, SST for ENSO, Q700 for humidity skill,
+  U850 for Hovmöller diagrams, Z500 for synoptic verification).
+
+kappa(v) follows the convention of the latitude/pressure-weighted losses in
+prior work the paper cites: fixed weights for surface variables and weights
+proportional to pressure for upper-air levels (emphasizing near-surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Variable", "VariableSet", "ERA5_FULL", "TOY_SET",
+           "PRESSURE_LEVELS"]
+
+#: The 13 WeatherBench2 pressure levels (hPa).
+PRESSURE_LEVELS = (50, 100, 150, 200, 250, 300, 400, 500, 600, 700, 850, 925, 1000)
+
+#: Fixed loss weights for surface variables (GraphCast-style convention).
+_SURFACE_WEIGHTS = {"T2M": 1.0, "U10": 0.77, "V10": 0.66, "MSLP": 1.5,
+                    "SST": 1.0}
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One prognostic channel."""
+
+    name: str          # e.g. "Z500", "T2M"
+    family: str        # "Z", "T", "U", "V", "Q" or surface name
+    level: int | None  # hPa, None for surface variables
+    units: str
+
+    @property
+    def kappa(self) -> float:
+        """Loss weight kappa(v)."""
+        if self.level is None:
+            return _SURFACE_WEIGHTS.get(self.name, 1.0)
+        return self.level / 1000.0
+
+
+@dataclass(frozen=True)
+class VariableSet:
+    """Ordered channel inventory."""
+
+    variables: tuple[Variable, ...]
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def index(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown variable {name!r}; have {self.names}") from None
+
+    def kappa_weights(self) -> list[float]:
+        return [v.kappa for v in self.variables]
+
+    def __getitem__(self, name: str) -> Variable:
+        return self.variables[self.index(name)]
+
+
+def _surface(name: str, units: str) -> Variable:
+    return Variable(name=name, family=name, level=None, units=units)
+
+
+def _atmos(family: str, level: int, units: str) -> Variable:
+    return Variable(name=f"{family}{level}", family=family, level=level,
+                    units=units)
+
+
+_FAMILY_UNITS = {"Z": "m^2/s^2", "T": "K", "U": "m/s", "V": "m/s", "Q": "kg/kg"}
+
+#: Full 70-channel paper inventory.
+ERA5_FULL = VariableSet(variables=tuple(
+    [_surface("T2M", "K"), _surface("U10", "m/s"), _surface("V10", "m/s"),
+     _surface("MSLP", "Pa"), _surface("SST", "K")]
+    + [_atmos(fam, lvl, _FAMILY_UNITS[fam])
+       for fam in ("Z", "T", "U", "V", "Q") for lvl in PRESSURE_LEVELS]))
+
+#: 9-channel toy inventory (order defines channel layout in the toy dataset).
+TOY_SET = VariableSet(variables=(
+    _surface("T2M", "K"),
+    _surface("U10", "m/s"),
+    _surface("V10", "m/s"),
+    _surface("MSLP", "hPa"),
+    _surface("SST", "K"),
+    _atmos("Z", 500, "m"),
+    _atmos("T", 850, "K"),
+    _atmos("Q", 700, "g/kg"),
+    _atmos("U", 850, "m/s"),
+))

@@ -1,0 +1,158 @@
+"""Consistency distillation (paper Section VII-C):
+
+    "Our diffusion parameterization also allows for consistency
+    distillation [50], which allows us to compress the model size and
+    reduce inference to a single step, thereby lowering computational cost
+    by orders of magnitude for generating new forecasts."
+
+TrigFlow (Lu & Song) defines the consistency function
+
+    f(x_t, t) = cos(t) x_t − sin(t) σ_d F_θ(x_t / σ_d, t),
+
+the one-step jump from any point on a PFODE trajectory back to its ``t=0``
+endpoint.  Distillation trains a student ``F_φ`` so that its jump from
+``x_t`` matches the teacher-ODE-consistent jump from a *less noisy* point
+``x_s`` on the same trajectory (obtained by one teacher solver step),
+evaluated by the student with stopped gradients — the standard discrete
+consistency-distillation objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import EMA, AdamW, Module
+from ..tensor import Tensor, no_grad
+from .solver import SolverConfig
+from .trigflow import TrigFlow
+
+__all__ = ["ConsistencyConfig", "ConsistencyDistiller", "consistency_jump"]
+
+
+def consistency_jump(flow: TrigFlow, x_t: np.ndarray, velocity: np.ndarray,
+                     t: np.ndarray) -> np.ndarray:
+    """TrigFlow consistency function: ``cos(t) x_t − sin(t) v``."""
+    return flow.denoise_from_velocity(x_t, velocity, t)
+
+
+@dataclass(frozen=True)
+class ConsistencyConfig:
+    """Distillation hyperparameters."""
+
+    n_boundary_steps: int = 8      # discretization of [t_min, pi/2]
+    lr: float = 1e-3
+    ema_halflife_images: float = 500.0
+    seed: int = 0
+
+
+class ConsistencyDistiller:
+    """Distills a trained TrigFlow teacher into a one-step student.
+
+    Both teacher and student share the AERIS call signature
+    ``model(x_t, t, cond, forc)``.  The student is typically initialized
+    from the teacher's weights.
+    """
+
+    def __init__(self, teacher: Module, student: Module,
+                 flow: TrigFlow = TrigFlow(),
+                 config: ConsistencyConfig = ConsistencyConfig()):
+        self.teacher = teacher
+        self.student = student
+        self.flow = flow
+        self.config = config
+        self.optimizer = AdamW(student.parameters(), lr=config.lr,
+                               weight_decay=0.0)
+        self.ema = EMA(student, halflife_images=config.ema_halflife_images)
+        self.rng_t = np.random.default_rng(config.seed + 1)
+        self.rng_z = np.random.default_rng(config.seed + 2)
+        self.history: list[float] = []
+        # Boundary times: log-uniform in tan(t), densest near t_min.
+        taus = np.linspace(np.log(flow.sigma_min), np.log(flow.sigma_max),
+                           config.n_boundary_steps + 1)
+        self.boundaries = flow.tau_to_t(taus)  # increasing
+
+    # -- teacher utilities ---------------------------------------------------
+    def _teacher_velocity(self, x: np.ndarray, t: np.ndarray,
+                          cond: np.ndarray, forc: np.ndarray) -> np.ndarray:
+        with no_grad():
+            out = self.teacher(Tensor(x / self.flow.sigma_d), Tensor(t),
+                               Tensor(cond), Tensor(forc))
+        return self.flow.sigma_d * out.numpy()
+
+    def _teacher_ode_step(self, x_t: np.ndarray, t: np.ndarray,
+                          s: np.ndarray, cond: np.ndarray,
+                          forc: np.ndarray) -> np.ndarray:
+        """One midpoint step of the teacher PFODE from time t down to s."""
+        h = (s - t).reshape((-1,) + (1,) * (x_t.ndim - 1))
+        v1 = self._teacher_velocity(x_t, t, cond, forc)
+        x_mid = x_t + 0.5 * h * v1
+        v2 = self._teacher_velocity(x_mid, 0.5 * (t + s), cond, forc)
+        return x_t + h * v2
+
+    def _student_jump(self, x: np.ndarray, t: np.ndarray, cond: np.ndarray,
+                      forc: np.ndarray, grad: bool):
+        """Student consistency function; Tensor (with graph) if ``grad``."""
+        if grad:
+            out = self.student(Tensor(x / self.flow.sigma_d), Tensor(t),
+                               Tensor(cond), Tensor(forc))
+            ct, st = TrigFlow._angles(t, x.ndim)
+            return Tensor(ct * x) - Tensor(st) * (out * self.flow.sigma_d)
+        with no_grad():
+            out = self.student(Tensor(x / self.flow.sigma_d), Tensor(t),
+                               Tensor(cond), Tensor(forc))
+        return consistency_jump(self.flow, x, self.flow.sigma_d * out.numpy(), t)
+
+    # -- one distillation step -----------------------------------------------
+    def train_step(self, x0: np.ndarray, cond: np.ndarray,
+                   forc: np.ndarray) -> float:
+        """``x0``: clean (standardized residual) targets, ``(B, H, W, C)``."""
+        batch = x0.shape[0]
+        # Sample a boundary interval [s, t] per sample.
+        idx = self.rng_t.integers(1, len(self.boundaries), size=batch)
+        t = self.boundaries[idx].astype(np.float32)
+        s = self.boundaries[idx - 1].astype(np.float32)
+        z = self.rng_z.normal(0.0, self.flow.sigma_d,
+                              size=x0.shape).astype(np.float32)
+        x_t = self.flow.interpolate(x0, z, t)
+        # Teacher moves x_t -> x_s along the PFODE; the EMA student's jump
+        # from x_s is the (stop-gradient) target.
+        x_s = self._teacher_ode_step(x_t, t, s, cond, forc)
+        target = self._student_jump(x_s, s, cond, forc, grad=False)
+        self.optimizer.zero_grad()
+        pred = self._student_jump(x_t, t, cond, forc, grad=True)
+        loss = ((pred - Tensor(target)) ** 2).mean()
+        loss.backward()
+        self.optimizer.step()
+        self.ema.update(self.student, images_per_step=batch)
+        value = loss.item()
+        self.history.append(value)
+        return value
+
+    # -- one-step inference ----------------------------------------------------
+    def sample_one_step(self, cond: np.ndarray, forc: np.ndarray,
+                        rng: np.random.Generator,
+                        use_ema: bool = False) -> np.ndarray:
+        """Single-network-evaluation sample: jump from pure noise at
+        ``t = pi/2`` directly to ``t = 0``."""
+        model = self.student
+        if use_ema:
+            saved = model.state_dict()
+            self.ema.copy_to(model)
+        z = rng.normal(0.0, self.flow.sigma_d,
+                       size=cond.shape).astype(np.float32)
+        t = np.full(cond.shape[0] if cond.ndim == 4 else 1, np.pi / 2,
+                    dtype=np.float32)
+        x = z if cond.ndim == 4 else z[None]
+        c = cond if cond.ndim == 4 else cond[None]
+        f = forc if forc.ndim == 4 else forc[None]
+        out = self._student_jump(x, t, c, f, grad=False)
+        if use_ema:
+            model.load_state_dict(saved)
+        return out if cond.ndim == 4 else out[0]
+
+    def teacher_sample_cost(self, solver_config: SolverConfig) -> int:
+        """Network evaluations per forecast step for the diffusion teacher
+        (2 per 2S solver step) vs 1 for the consistency student."""
+        return 2 * solver_config.n_steps

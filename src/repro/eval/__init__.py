@@ -1,0 +1,29 @@
+"""Verification suite: deterministic + probabilistic metrics and the
+domain-specific diagnostics of the paper's evaluation."""
+
+from .enso import NINO34_BOX, nino34_index
+from .harness import EvalProtocol, MediumRangeEvaluator, Scores
+from .extremes import heatwave_detected, heatwave_hit_rate, point_series
+from .hovmoller import hovmoller, propagation_speed
+from .metrics import acc, bias, mae, rmse
+from .probabilistic import (
+    crps_ensemble,
+    ensemble_mean_rmse,
+    rank_histogram,
+    spread,
+    spread_skill_ratio,
+)
+from .spectra import sharpness_ratio, zonal_power_spectrum
+from .tracking import TrackPoint, track_cyclone, track_error_km
+
+__all__ = [
+    "rmse", "mae", "bias", "acc",
+    "crps_ensemble", "spread", "ensemble_mean_rmse", "spread_skill_ratio",
+    "rank_histogram",
+    "zonal_power_spectrum", "sharpness_ratio",
+    "nino34_index", "NINO34_BOX",
+    "hovmoller", "propagation_speed",
+    "TrackPoint", "track_cyclone", "track_error_km",
+    "point_series", "heatwave_detected", "heatwave_hit_rate",
+    "EvalProtocol", "MediumRangeEvaluator", "Scores",
+]

@@ -1,0 +1,48 @@
+"""Deterministic verification metrics (latitude-weighted, WB2 conventions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import LatLonGrid
+
+__all__ = ["rmse", "mae", "bias", "acc"]
+
+
+def _weights(grid: LatLonGrid) -> np.ndarray:
+    return grid.cell_area_weights()
+
+
+def rmse(forecast: np.ndarray, truth: np.ndarray, grid: LatLonGrid
+         ) -> np.ndarray:
+    """Latitude-weighted RMSE over the trailing (H, W) axes.
+
+    Leading axes (lead time, channel stacked in front, …) are preserved.
+    """
+    w = _weights(grid)
+    err2 = (forecast - truth) ** 2
+    return np.sqrt((err2 * w).sum(axis=(-2, -1)) / w.sum())
+
+
+def mae(forecast: np.ndarray, truth: np.ndarray, grid: LatLonGrid
+        ) -> np.ndarray:
+    w = _weights(grid)
+    return (np.abs(forecast - truth) * w).sum(axis=(-2, -1)) / w.sum()
+
+
+def bias(forecast: np.ndarray, truth: np.ndarray, grid: LatLonGrid
+         ) -> np.ndarray:
+    w = _weights(grid)
+    return ((forecast - truth) * w).sum(axis=(-2, -1)) / w.sum()
+
+
+def acc(forecast: np.ndarray, truth: np.ndarray, climatology: np.ndarray,
+        grid: LatLonGrid) -> np.ndarray:
+    """Anomaly correlation coefficient w.r.t. a climatology field."""
+    w = _weights(grid)
+    fa = forecast - climatology
+    ta = truth - climatology
+    num = (fa * ta * w).sum(axis=(-2, -1))
+    den = np.sqrt((fa ** 2 * w).sum(axis=(-2, -1))
+                  * (ta ** 2 * w).sum(axis=(-2, -1)))
+    return num / np.maximum(den, 1e-12)

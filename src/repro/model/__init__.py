@@ -1,0 +1,29 @@
+"""AERIS model: pixel-level non-hierarchical Swin diffusion transformer."""
+
+from .aeris import Aeris
+from .blocks import SwinBlock, SwinLayer
+from .config import (
+    SMALL,
+    TABLE_II,
+    TINY,
+    AerisConfig,
+    ParallelLayout,
+    count_parameters,
+)
+from .rope import axial_rope_table
+from .windows import (
+    cyclic_shift,
+    window_grid_shape,
+    window_index_grid,
+    window_merge,
+    window_partition,
+)
+
+__all__ = [
+    "Aeris", "SwinBlock", "SwinLayer",
+    "AerisConfig", "ParallelLayout", "TABLE_II", "TINY", "SMALL",
+    "count_parameters",
+    "axial_rope_table",
+    "window_partition", "window_merge", "cyclic_shift",
+    "window_grid_shape", "window_index_grid",
+]

@@ -1,0 +1,97 @@
+"""The AERIS network ``F_theta`` (paper Figure 3).
+
+Pixel-level input pipeline: 2D sinusoidal positional encoding added to each
+channel → learned linear embedding → N Swin layers (pre-RMSNorm, SwiGLU,
+axial 2D RoPE, adaLN time conditioning) → final norm → linear decode back to
+pixel space.
+
+The network estimates the TrigFlow velocity for the *residual*
+``x_0 = x_i − x_{i-1}``; conditioning (previous state and forcings) is
+concatenated channel-wise with the noisy sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LayerNorm, Linear, Module, ModuleList, TimestepEmbedding
+from ..nn import pixel_positional_field
+from ..tensor import Tensor, concat
+from .blocks import SwinLayer
+from .config import AerisConfig
+
+__all__ = ["Aeris"]
+
+
+class Aeris(Module):
+    """AERIS backbone.
+
+    Call signature follows the diffusion conditioning of Section VI-B:
+    ``forward(x_t, t, condition, forcings)`` where
+
+    * ``x_t``        — noisy residual, ``(B, H, W, C)``;
+    * ``t``          — diffusion times, ``(B,)`` in ``[0, π/2]``;
+    * ``condition``  — previous state ``x_{i-1}``, ``(B, H, W, C)``;
+    * ``forcings``   — ``(B, H, W, F)`` (TOA solar, orography, land-sea mask).
+
+    Returns the velocity estimate ``(B, H, W, C)``.
+    """
+
+    def __init__(self, config: AerisConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        p2 = config.patch_size ** 2
+        self.posenc = pixel_positional_field(config.height, config.width)
+        self.embed = Linear(config.in_channels * p2, config.dim, rng=rng)
+        self.time_embed = TimestepEmbedding(config.dim, n_freqs=config.time_freqs,
+                                            rng=rng)
+        self.layers = ModuleList([
+            SwinLayer(config, layer_index=i, rng=rng)
+            for i in range(config.swin_layers)
+        ])
+        self.final_norm = LayerNorm(config.dim, elementwise_affine=False)
+        self.decode = Linear(config.dim, config.channels * p2, rng=rng,
+                             init_std=0.02)
+
+    # -- patching ------------------------------------------------------------
+    def _patchify(self, x: Tensor) -> Tensor:
+        """``(B, H, W, C)`` -> ``(B, H/p, W/p, C·p²)`` (identity at p=1)."""
+        p = self.config.patch_size
+        if p == 1:
+            return x
+        b, h, w, c = x.shape
+        x = x.reshape(b, h // p, p, w // p, p, c)
+        return x.transpose(0, 1, 3, 2, 4, 5).reshape(b, h // p, w // p,
+                                                     p * p * c)
+
+    def _unpatchify(self, x: Tensor) -> Tensor:
+        p = self.config.patch_size
+        if p == 1:
+            return x
+        b, gh, gw, cpp = x.shape
+        c = cpp // (p * p)
+        x = x.reshape(b, gh, gw, p, p, c)
+        return x.transpose(0, 1, 3, 2, 4, 5).reshape(b, gh * p, gw * p, c)
+
+    # -- pipeline-stage access (used by repro.parallel.pipeline) ------------
+    def embed_stage(self, x_t: Tensor, condition: Tensor,
+                    forcings: Tensor) -> Tensor:
+        """First pipeline stage: concat conditioning, add posenc, patchify,
+        embed."""
+        x = concat([x_t, condition, forcings], axis=-1)
+        pos = Tensor(self.posenc[None, :, :, None])
+        x = x + pos
+        return self.embed(self._patchify(x))
+
+    def decode_stage(self, h: Tensor) -> Tensor:
+        """Last pipeline stage: final norm + linear back to pixel space."""
+        return self._unpatchify(self.decode(self.final_norm(h)))
+
+    def forward(self, x_t: Tensor, t: Tensor, condition: Tensor,
+                forcings: Tensor) -> Tensor:
+        h = self.embed_stage(x_t, condition, forcings)
+        t_emb = self.time_embed(t)
+        for layer in self.layers:
+            h = layer(h, t_emb)
+        return self.decode_stage(h)

@@ -1,0 +1,96 @@
+"""AERIS transformer blocks: pre-RMSNorm, shifted-window attention with
+axial 2D RoPE, SwiGLU, and adaLN diffusion-time conditioning (Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    AdaLNModulation,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    RMSNorm,
+    SwiGLU,
+    modulate,
+)
+from ..tensor import Tensor
+from .config import AerisConfig
+from .rope import axial_rope_table
+from .windows import cyclic_shift, window_merge, window_partition
+
+__all__ = ["SwinBlock", "SwinLayer"]
+
+
+def _gate(x: Tensor, gamma: Tensor) -> Tensor:
+    """Broadcast the adaLN gate ``gamma`` (B, D) over token axes of ``x``."""
+    extra = x.ndim - gamma.ndim
+    shape = (gamma.shape[0],) + (1,) * extra + (gamma.shape[-1],)
+    return x * gamma.reshape(shape)
+
+
+class SwinBlock(Module):
+    """One transformer block operating on the ``(B, H, W, D)`` token grid.
+
+    ``shifted`` blocks roll the grid by half a window before partitioning
+    ("shifted every other layer"), which is what gives the stack a global
+    receptive field without global attention.
+    """
+
+    def __init__(self, config: AerisConfig, shifted: bool,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.config = config
+        self.shifted = shifted
+        self.window = config.window
+        self.shift = (config.window[0] // 2, config.window[1] // 2)
+        self.norm_attn = RMSNorm(config.dim)
+        self.norm_ffn = RMSNorm(config.dim)
+        self.attn = MultiHeadAttention(config.dim, config.heads, rng=rng)
+        self.ffn = SwiGLU(config.dim, config.ffn_dim, rng=rng)
+        self.ada_attn = AdaLNModulation(config.dim, config.dim, rng=rng)
+        self.ada_ffn = AdaLNModulation(config.dim, config.dim, rng=rng)
+        self.rope_cos, self.rope_sin = axial_rope_table(
+            config.window, config.head_dim)
+
+    def attend(self, h: Tensor) -> Tensor:
+        """Shift → partition → window attention → merge → unshift."""
+        if self.shifted:
+            h = cyclic_shift(h, self.shift)
+        windows = window_partition(h, self.window)
+        windows = self.attn(windows, self.rope_cos, self.rope_sin)
+        h = window_merge(windows, (h.shape[1], h.shape[2]), self.window)
+        if self.shifted:
+            h = cyclic_shift(h, self.shift, reverse=True)
+        return h
+
+    def forward(self, x: Tensor, t_emb: Tensor) -> Tensor:
+        alpha_a, beta_a, gamma_a = self.ada_attn(t_emb)
+        h = modulate(self.norm_attn(x), alpha_a, beta_a)
+        x = x + _gate(self.attend(h), gamma_a)
+
+        alpha_f, beta_f, gamma_f = self.ada_ffn(t_emb)
+        h = modulate(self.norm_ffn(x), alpha_f, beta_f)
+        x = x + _gate(self.ffn(h), gamma_f)
+        return x
+
+
+class SwinLayer(Module):
+    """One Swin layer: ``blocks_per_layer`` transformer blocks with the
+    shift alternating across the *global* block index (so a pipeline stage
+    maps to one Swin layer, as in PP = L + 2)."""
+
+    def __init__(self, config: AerisConfig, layer_index: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.blocks = ModuleList([
+            SwinBlock(config,
+                      shifted=bool((layer_index * config.blocks_per_layer + b) % 2),
+                      rng=rng)
+            for b in range(config.blocks_per_layer)
+        ])
+
+    def forward(self, x: Tensor, t_emb: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x, t_emb)
+        return x

@@ -1,0 +1,76 @@
+"""Swin window partitioning, merging, and cyclic shifting.
+
+These are the data movements that Window Parallelism (SWiPe) distributes:
+:func:`window_partition` produces the per-window token groups that attention
+operates on; shifting by half a window every other layer grows the receptive
+field without global attention.
+
+The longitude axis of the Earth grid is periodic, so the cyclic roll used by
+standard Swin is physically exact zonally; meridionally it is the usual Swin
+cyclic-shift trick (the paper's quadrant layout exists precisely to
+"accommodate the window shift").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["window_partition", "window_merge", "cyclic_shift",
+           "window_grid_shape", "window_index_grid"]
+
+
+def window_grid_shape(height: int, width: int, window: tuple[int, int]
+                      ) -> tuple[int, int]:
+    """Number of windows along each axis; validates divisibility."""
+    wh, ww = window
+    if height % wh or width % ww:
+        raise ValueError(f"grid {height}x{width} not divisible by window {window}")
+    return height // wh, width // ww
+
+
+def window_partition(x: Tensor, window: tuple[int, int]) -> Tensor:
+    """``(B, H, W, D)`` -> ``(B, n_windows, wh*ww, D)``.
+
+    Windows are ordered row-major over the window grid; tokens within a
+    window are row-major over pixels.
+    """
+    b, h, w, d = x.shape
+    wh, ww = window
+    nh, nw = window_grid_shape(h, w, window)
+    x = x.reshape(b, nh, wh, nw, ww, d)
+    x = x.transpose(0, 1, 3, 2, 4, 5)           # (B, nh, nw, wh, ww, D)
+    return x.reshape(b, nh * nw, wh * ww, d)
+
+
+def window_merge(windows: Tensor, grid: tuple[int, int],
+                 window: tuple[int, int]) -> Tensor:
+    """Inverse of :func:`window_partition`."""
+    h, w = grid
+    wh, ww = window
+    nh, nw = window_grid_shape(h, w, window)
+    b = windows.shape[0]
+    d = windows.shape[-1]
+    x = windows.reshape(b, nh, nw, wh, ww, d)
+    x = x.transpose(0, 1, 3, 2, 4, 5)           # (B, nh, wh, nw, ww, D)
+    return x.reshape(b, h, w, d)
+
+
+def cyclic_shift(x: Tensor, shift: tuple[int, int], reverse: bool = False) -> Tensor:
+    """Roll the (H, W) axes of ``(B, H, W, D)`` by ``shift`` (Swin shift)."""
+    sh, sw = shift
+    if reverse:
+        sh, sw = -sh, -sw
+    return x.roll((-sh, -sw), axis=(1, 2))
+
+
+def window_index_grid(height: int, width: int, window: tuple[int, int]
+                      ) -> np.ndarray:
+    """Window id of every pixel, shape ``(height, width)``; for tests and for
+    the WP loader's shard computation."""
+    nh, nw = window_grid_shape(height, width, window)
+    wh, ww = window
+    rows = np.arange(height) // wh
+    cols = np.arange(width) // ww
+    return (rows[:, None] * nw + cols[None, :]).astype(np.int64)

@@ -1,0 +1,21 @@
+"""SWiPe parallelism on a simulated, metered cluster."""
+
+from .comm import CommStats, SimCluster
+from .data_parallel import allreduce_gradients, replicate_model
+from .domain_parallel import DomainSharding
+from .pipeline import AerisPipeline
+from .sequence_parallel import shard_sequence, ulysses_attention, unshard_sequence
+from .swipe import SwipeEngine
+from .swipe_attention import swipe_window_attention
+from .topology import RankTopology
+from .window_parallel import WindowSharding, shift_owner_change_bytes
+from .zero import ZeroOptimizer
+
+__all__ = [
+    "SimCluster", "CommStats", "RankTopology",
+    "shard_sequence", "unshard_sequence", "ulysses_attention",
+    "WindowSharding", "shift_owner_change_bytes", "DomainSharding",
+    "AerisPipeline", "ZeroOptimizer",
+    "allreduce_gradients", "replicate_model",
+    "SwipeEngine", "swipe_window_attention",
+]

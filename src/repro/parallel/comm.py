@@ -1,0 +1,147 @@
+"""A deterministic simulated cluster with metered collectives.
+
+Real SWiPe runs on oneCCL/RCCL over Aurora's X^e-links and Slingshot; the
+reproduction executes the *same data movements* between per-rank NumPy
+buffers inside one process, and meters every byte, classified by
+
+* primitive (``alltoall`` / ``p2p`` / ``allreduce`` / ``allgather`` /
+  ``reduce_scatter`` / ``broadcast``), and
+* locality (intra-node vs inter-node), given a rank→node mapping.
+
+These counters are what the communication-model tests compare against the
+paper's analytical message sizes (``M = b·s·h / SP / WP``), and what the
+ablation bench reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommStats", "SimCluster"]
+
+
+@dataclass
+class CommStats:
+    """Byte/operation counters, keyed by (primitive, locality)."""
+
+    bytes: dict = field(default_factory=lambda: defaultdict(int))
+    ops: dict = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, primitive: str, locality: str, nbytes: int) -> None:
+        self.bytes[(primitive, locality)] += int(nbytes)
+        self.ops[(primitive, locality)] += 1
+
+    def total_bytes(self, primitive: str | None = None,
+                    locality: str | None = None) -> int:
+        return sum(v for (p, l), v in self.bytes.items()
+                   if (primitive is None or p == primitive)
+                   and (locality is None or l == locality))
+
+    def reset(self) -> None:
+        self.bytes.clear()
+        self.ops.clear()
+
+
+class SimCluster:
+    """``n_ranks`` simulated ranks, ``ranks_per_node`` per node.
+
+    All collectives take/return *lists indexed by position in the group* and
+    an explicit ``group`` of global rank ids (so locality can be judged).
+    """
+
+    def __init__(self, n_ranks: int, ranks_per_node: int = 1):
+        if n_ranks % ranks_per_node:
+            raise ValueError("n_ranks must be a multiple of ranks_per_node")
+        self.n_ranks = n_ranks
+        self.ranks_per_node = ranks_per_node
+        self.stats = CommStats()
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    def _locality(self, a: int, b: int) -> str:
+        return "intra" if self.node_of(a) == self.node_of(b) else "inter"
+
+    # -- point to point -------------------------------------------------------
+    def send(self, src: int, dst: int, array: np.ndarray) -> np.ndarray:
+        """P2P transfer (PP activations / window-shift fragments)."""
+        if src != dst:
+            self.stats.add("p2p", self._locality(src, dst), array.nbytes)
+        return array.copy()
+
+    # -- collectives ------------------------------------------------------------
+    def alltoall(self, group: list[int], chunks: list[list[np.ndarray]]
+                 ) -> list[list[np.ndarray]]:
+        """``chunks[i][j]`` = payload rank ``group[i]`` sends to ``group[j]``.
+
+        Returns ``out[j][i]`` = what rank ``group[j]`` received from ``i``.
+        """
+        n = len(group)
+        if len(chunks) != n or any(len(row) != n for row in chunks):
+            raise ValueError("chunks must be an n x n matrix of arrays")
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self.stats.add("alltoall",
+                                   self._locality(group[i], group[j]),
+                                   chunks[i][j].nbytes)
+        return [[chunks[i][j].copy() for i in range(n)] for j in range(n)]
+
+    def allreduce(self, group: list[int], arrays: list[np.ndarray]
+                  ) -> list[np.ndarray]:
+        """Sum-allreduce. Ring cost: each rank moves 2(n−1)/n of the data."""
+        n = len(group)
+        if len(arrays) != n:
+            raise ValueError("one array per group rank required")
+        total = arrays[0].astype(np.float64)
+        for a in arrays[1:]:
+            total = total + a
+        result = total.astype(arrays[0].dtype)
+        nbytes = arrays[0].nbytes
+        if n > 1:
+            ring = int(2 * (n - 1) / n * nbytes) * n  # summed over ranks
+            locality = ("intra" if all(self.node_of(r) == self.node_of(group[0])
+                                       for r in group) else "inter")
+            self.stats.add("allreduce", locality, ring)
+        return [result.copy() for _ in range(n)]
+
+    def allgather(self, group: list[int], arrays: list[np.ndarray]
+                  ) -> list[list[np.ndarray]]:
+        n = len(group)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self.stats.add("allgather",
+                                   self._locality(group[i], group[j]),
+                                   arrays[i].nbytes)
+        return [[a.copy() for a in arrays] for _ in range(n)]
+
+    def reduce_scatter(self, group: list[int], chunks: list[list[np.ndarray]]
+                       ) -> list[np.ndarray]:
+        """``chunks[i][j]``: rank i's contribution to shard j; rank j gets
+        the sum over i."""
+        n = len(group)
+        out = []
+        for j in range(n):
+            total = chunks[0][j].astype(np.float64)
+            for i in range(1, n):
+                total = total + chunks[i][j]
+            out.append(total.astype(chunks[0][j].dtype))
+            for i in range(n):
+                if i != j:
+                    self.stats.add("reduce_scatter",
+                                   self._locality(group[i], group[j]),
+                                   chunks[i][j].nbytes)
+        return out
+
+    def broadcast(self, group: list[int], root_index: int,
+                  array: np.ndarray) -> list[np.ndarray]:
+        for j, rank in enumerate(group):
+            if j != root_index:
+                self.stats.add("broadcast",
+                               self._locality(group[root_index], rank),
+                               array.nbytes)
+        return [array.copy() for _ in group]

@@ -1,0 +1,130 @@
+"""Domain parallelism with halo exchange — the alternative the paper
+rejects (Section IV-B):
+
+    "Another approach is Domain Parallelism (e.g., PyTorch DTensor and
+    NVIDIA PhysicsNeMo's ShardTensor) that shards inputs over devices
+    across spatiotemporal dimensions and automatically issues the
+    necessary halo exchanges. ... performance degrades for non-local
+    operations ... Compared to input sharding with domain parallelism,
+    which requires multiple re-sharding points for the Swin transformer,
+    SWiPe avoids introducing additional communication or synchronization
+    points."
+
+This module implements that alternative faithfully enough to *measure* the
+claim: the image is split into contiguous spatial tiles, and windowed
+attention on a tile requires a halo of half a window from each neighbour
+whenever the (shifted) window grid straddles the tile boundary.  Both the
+functional result (must equal unsharded attention) and the metered exchange
+volume are exposed, so the ablation bench can put WP's zero-halo property
+side by side with domain parallelism's per-layer halo cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.windows import window_grid_shape
+from .comm import SimCluster
+
+__all__ = ["DomainSharding"]
+
+
+class DomainSharding:
+    """Contiguous spatial tiling of ``(B, H, W, D)`` over a rank grid.
+
+    Tiles must align with the window grid so that unshifted windows never
+    straddle tiles; the *shifted* pass then needs a halo of half a window
+    from the south and east neighbours (cyclic), which is the exchange the
+    paper says WP avoids.
+    """
+
+    def __init__(self, grid: tuple[int, int], window: tuple[int, int],
+                 tile_grid: tuple[int, int]):
+        self.grid = grid
+        self.window = window
+        self.tile_grid = tile_grid
+        n_win_h, n_win_w = window_grid_shape(grid[0], grid[1], window)
+        if n_win_h % tile_grid[0] or n_win_w % tile_grid[1]:
+            raise ValueError("window grid must divide evenly into tiles")
+        self.tile_h = grid[0] // tile_grid[0]
+        self.tile_w = grid[1] // tile_grid[1]
+        self.n_ranks = tile_grid[0] * tile_grid[1]
+
+    def tile_slices(self, rank: int) -> tuple[slice, slice]:
+        ti, tj = divmod(rank, self.tile_grid[1])
+        return (slice(ti * self.tile_h, (ti + 1) * self.tile_h),
+                slice(tj * self.tile_w, (tj + 1) * self.tile_w))
+
+    def shard(self, image: np.ndarray) -> list[np.ndarray]:
+        return [image[:, si, sj, :].copy()
+                for si, sj in map(self.tile_slices, range(self.n_ranks))]
+
+    def unshard(self, shards: list[np.ndarray]) -> np.ndarray:
+        b = shards[0].shape[0]
+        d = shards[0].shape[-1]
+        out = np.empty((b, self.grid[0], self.grid[1], d),
+                       dtype=shards[0].dtype)
+        for rank, shard in enumerate(shards):
+            si, sj = self.tile_slices(rank)
+            out[:, si, sj, :] = shard
+        return out
+
+    # -- halo machinery -----------------------------------------------------
+    def halo_bytes_per_exchange(self, batch: int, channels: int,
+                                itemsize: int = 4) -> int:
+        """Bytes each shifted layer moves: every rank receives a halo strip
+        of ``window/2`` rows from the south neighbour and ``window/2``
+        columns from the east neighbour (plus the corner)."""
+        hh, hw = self.window[0] // 2, self.window[1] // 2
+        south = hh * self.tile_w
+        east = hw * self.tile_h
+        corner = hh * hw
+        per_rank = (south + east + corner) * batch * channels * itemsize
+        return per_rank * self.n_ranks
+
+    def apply_windowed(self, image: np.ndarray, window_fn,
+                       shifted: bool = False,
+                       cluster: SimCluster | None = None,
+                       group: list[int] | None = None) -> np.ndarray:
+        """Windowed operation under domain sharding.
+
+        For the shifted pass each rank gathers halos from its (cyclic)
+        south/east neighbours, processes the windows it owns in the shifted
+        frame, and the results are re-assembled.  Functionally verified to
+        equal unsharded shifted-window attention.
+        """
+        sh, sw = (self.window[0] // 2, self.window[1] // 2) if shifted \
+            else (0, 0)
+        work = np.roll(image, (-sh, -sw), axis=(1, 2)) if shifted else image
+        if shifted and cluster is not None and group is not None:
+            moved = self.halo_bytes_per_exchange(
+                image.shape[0], image.shape[-1], image.dtype.itemsize)
+            cluster.stats.add("p2p", "inter", moved)
+        shards = self.shard(work)
+        out_shards = []
+        wh, ww = self.window
+        for shard in shards:
+            b, th, tw, d = shard.shape
+            nh, nw = th // wh, tw // ww
+            windows = shard.reshape(b, nh, wh, nw, ww, d) \
+                .transpose(0, 1, 3, 2, 4, 5).reshape(b, nh * nw, wh * ww, d)
+            processed = window_fn(windows)
+            dd = processed.shape[-1]
+            back = processed.reshape(b, nh, nw, wh, ww, dd) \
+                .transpose(0, 1, 3, 2, 4, 5).reshape(b, th, tw, dd)
+            out_shards.append(back)
+        out = self.unshard(out_shards)
+        if shifted:
+            out = np.roll(out, (sh, sw), axis=(1, 2))
+            if cluster is not None and group is not None:
+                moved = self.halo_bytes_per_exchange(
+                    image.shape[0], out.shape[-1], out.dtype.itemsize)
+                cluster.stats.add("p2p", "inter", moved)
+        return out
+
+    def resharding_points_per_block(self, shifted: bool) -> int:
+        """Synchronization points a DTensor-style implementation needs for
+        one Swin block: gather-for-attention + scatter afterwards when the
+        window layout does not match the shard layout (shifted pass), plus
+        none for the aligned unshifted pass."""
+        return 2 if shifted else 0

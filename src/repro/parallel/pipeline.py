@@ -1,0 +1,126 @@
+"""Pipeline parallelism over the AERIS stage structure PP = L + 2.
+
+The paper isolates data I/O + input embedding into the first stage and
+decoding + output into the last, with one Swin layer per interior stage —
+keeping I/O latency out of the interior stages' bubble.
+
+This executor performs *real* pipelined training numerics: activations are
+detached at stage boundaries, handed to the next stage (metered as PP
+send/recv), and gradients are routed back through the same boundaries during
+backward.  Gradient accumulation over microbatches happens naturally because
+``Tensor.backward`` accumulates into parameter ``.grad``.  The resulting
+gradients are verified (in tests) to match a monolithic forward/backward
+bit-for-bit.
+
+Execution order inside one process is sequential; the 1F1B/GPipe *timing*
+(bubble fraction) is modeled in :mod:`repro.perf.pipeline_model`, which is
+also where the schedules live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model import Aeris
+from ..tensor import Tensor
+from .comm import SimCluster
+
+__all__ = ["AerisPipeline"]
+
+
+class AerisPipeline:
+    """Microbatched pipelined forward/backward for an :class:`Aeris`.
+
+    Parameters
+    ----------
+    model:
+        The full model (stage views are taken of its submodules; parameters
+        are shared, not copied).
+    cluster / pp_group:
+        Optional metering: activation handoffs are charged as p2p bytes
+        between consecutive ``pp_group`` ranks.
+    """
+
+    def __init__(self, model: Aeris, cluster: SimCluster | None = None,
+                 pp_group: list[int] | None = None):
+        self.model = model
+        self.cluster = cluster
+        self.pp_group = pp_group
+        self.n_stages = model.config.swin_layers + 2
+
+    def _meter(self, stage: int, nbytes: int) -> None:
+        if self.cluster is None or self.pp_group is None:
+            return
+        src = self.pp_group[stage]
+        dst = self.pp_group[stage + 1]
+        self.cluster.stats.add("p2p", "intra" if self.cluster.node_of(src)
+                               == self.cluster.node_of(dst) else "inter",
+                               nbytes)
+
+    def forward_backward(self, x_t: np.ndarray, t: np.ndarray,
+                         cond: np.ndarray, forc: np.ndarray,
+                         loss_fn, n_micro: int) -> float:
+        """Run ``n_micro`` microbatches; returns the *sum* of loss values.
+
+        ``loss_fn(pred: Tensor, micro_slice: slice) -> Tensor`` must already
+        scale by ``1 / n_micro`` if averaged gradients are desired — the
+        summed return value then equals the full-batch mean loss.
+        Parameter gradients accumulate across microbatches.
+        """
+        batch = x_t.shape[0]
+        if batch % n_micro:
+            raise ValueError(f"batch {batch} not divisible into {n_micro} "
+                             "microbatches")
+        mb = batch // n_micro
+        total_loss = 0.0
+        for m in range(n_micro):
+            sl = slice(m * mb, (m + 1) * mb)
+            total_loss += self._one_microbatch(
+                x_t[sl], t[sl], cond[sl], forc[sl],
+                lambda pred: loss_fn(pred, sl))
+        return total_loss
+
+    # -- single microbatch -------------------------------------------------
+    def _one_microbatch(self, x_t, t, cond, forc, loss_fn) -> float:
+        model = self.model
+        # Stage 0: I/O + embedding (+ the shared time embedding, which is
+        # broadcast to every interior stage).
+        embed_out = model.embed_stage(Tensor(x_t), Tensor(cond), Tensor(forc))
+        t_emb = model.time_embed(Tensor(t))
+        act = embed_out
+
+        boundary_inputs: list[Tensor] = []
+        boundary_tembs: list[Tensor] = []
+        stage_outputs: list[Tensor] = []
+        for s, layer in enumerate(model.layers):
+            inp = Tensor(act.numpy().copy(), requires_grad=True)
+            temb_in = Tensor(t_emb.numpy().copy(), requires_grad=True)
+            self._meter(s, inp.data.nbytes + temb_in.data.nbytes)
+            out = layer(inp, temb_in)
+            boundary_inputs.append(inp)
+            boundary_tembs.append(temb_in)
+            stage_outputs.append(out)
+            act = out
+        # Last stage: decode + loss.
+        dec_in = Tensor(act.numpy().copy(), requires_grad=True)
+        self._meter(self.n_stages - 2, dec_in.data.nbytes)
+        pred = model.decode_stage(dec_in)
+        loss = loss_fn(pred)
+        loss.backward()
+
+        # Backward through interior stages, routing boundary gradients.
+        grad = dec_in.grad
+        for s in range(len(model.layers) - 1, -1, -1):
+            self._meter(s, grad.nbytes)
+            stage_outputs[s].backward(grad)
+            grad = boundary_inputs[s].grad
+        # Time-embedding gradients arrive from every interior stage.
+        temb_grad = np.zeros_like(t_emb.numpy())
+        for temb_in in boundary_tembs:
+            if temb_in.grad is not None:
+                temb_grad += temb_in.grad
+        t_emb.backward(temb_grad)
+        # Embedding-stage backward: the stage-0 graph was kept alive via
+        # `embed_out`; `grad` now holds dL/d(embedding output).
+        embed_out.backward(grad)
+        return loss.item()

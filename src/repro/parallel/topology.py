@@ -1,0 +1,83 @@
+"""Rank topology for SWiPe: DP × PP × WP × SP.
+
+Following the paper (Figure 2b): SP groups are confined to a node (the
+bandwidth-hungry all-to-alls ride the intra-node fabric); a model instance
+occupies WP × PP nodes; data parallelism replicates instances.
+
+Global rank layout (slowest to fastest): dp, pp, wp, sp — so the SP group of
+a rank is a contiguous block, which is exactly one simulated node when the
+cluster is built with ``ranks_per_node = sp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RankTopology"]
+
+
+@dataclass(frozen=True)
+class RankTopology:
+    dp: int
+    pp: int
+    wp_grid: tuple[int, int]
+    sp: int
+
+    @property
+    def wp(self) -> int:
+        return self.wp_grid[0] * self.wp_grid[1]
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.pp * self.wp * self.sp
+
+    @property
+    def nodes(self) -> int:
+        return self.dp * self.pp * self.wp
+
+    # -- rank <-> coordinates -----------------------------------------------
+    def rank_of(self, dp: int, pp: int, wp: int, sp: int) -> int:
+        self._check(dp, pp, wp, sp)
+        return ((dp * self.pp + pp) * self.wp + wp) * self.sp + sp
+
+    def coords_of(self, rank: int) -> tuple[int, int, int, int]:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        sp = rank % self.sp
+        rank //= self.sp
+        wp = rank % self.wp
+        rank //= self.wp
+        pp = rank % self.pp
+        dp = rank // self.pp
+        return dp, pp, wp, sp
+
+    def _check(self, dp: int, pp: int, wp: int, sp: int) -> None:
+        if not (0 <= dp < self.dp and 0 <= pp < self.pp
+                and 0 <= wp < self.wp and 0 <= sp < self.sp):
+            raise ValueError(f"coords ({dp},{pp},{wp},{sp}) out of range")
+
+    # -- groups ----------------------------------------------------------------
+    def sp_group(self, dp: int, pp: int, wp: int) -> list[int]:
+        """All SP ranks sharing one (dp, pp, wp) — one node."""
+        return [self.rank_of(dp, pp, wp, s) for s in range(self.sp)]
+
+    def wp_group(self, dp: int, pp: int, sp: int) -> list[int]:
+        return [self.rank_of(dp, pp, w, sp) for w in range(self.wp)]
+
+    def dp_group(self, pp: int, wp: int, sp: int) -> list[int]:
+        return [self.rank_of(d, pp, wp, sp) for d in range(self.dp)]
+
+    def pp_neighbors(self, dp: int, pp: int, wp: int, sp: int
+                     ) -> tuple[int | None, int | None]:
+        """(previous-stage rank, next-stage rank) for PP send/recv."""
+        prev_rank = self.rank_of(dp, pp - 1, wp, sp) if pp > 0 else None
+        next_rank = self.rank_of(dp, pp + 1, wp, sp) if pp < self.pp - 1 else None
+        return prev_rank, next_rank
+
+    def model_parallel_group(self, dp: int) -> list[int]:
+        """All ranks of one model instance (shares the t-seed, per the
+        paper's noise-seeding rule)."""
+        return [self.rank_of(dp, p, w, s)
+                for p in range(self.pp)
+                for w in range(self.wp)
+                for s in range(self.sp)]

@@ -1,0 +1,86 @@
+"""ZeRO-1-style sharded optimizer (paper Section VI-C: "a Zero1-like
+distributed optimizer ... custom-built").
+
+Optimizer *states* (Adam moments) are partitioned across the data-parallel
+group: each DP rank keeps moments only for its parameter shard, updates that
+shard after the gradient allreduce, and an allgather distributes the updated
+parameters to everyone.  Model parameters and gradients stay replicated —
+that is what distinguishes ZeRO-1 from ZeRO-2/3.
+"""
+
+from __future__ import annotations
+
+from ..nn import AdamW, Parameter
+from .comm import SimCluster
+
+__all__ = ["ZeroOptimizer"]
+
+
+class ZeroOptimizer:
+    """AdamW with optimizer states sharded over ``dp_group``.
+
+    Parameters are assigned round-robin by index, which balances shard sizes
+    well for the many-equal-blocks structure of a transformer.
+    """
+
+    def __init__(self, params: list[Parameter], cluster: SimCluster,
+                 dp_group: list[int], lr: float = 5e-4,
+                 betas: tuple[float, float] = (0.85, 0.9), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        self.params = list(params)
+        self.cluster = cluster
+        self.dp_group = dp_group
+        self.dp = len(dp_group)
+        self.shard_of = [i % self.dp for i in range(len(self.params))]
+        # One AdamW per shard, holding states only for its own parameters.
+        self.shard_optimizers = []
+        for shard in range(self.dp):
+            shard_params = [p for i, p in enumerate(self.params)
+                            if self.shard_of[i] == shard]
+            self.shard_optimizers.append(
+                AdamW(shard_params, lr=lr, betas=betas, eps=eps,
+                      weight_decay=weight_decay))
+
+    @property
+    def lr(self) -> float:
+        return self.shard_optimizers[0].lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        for opt in self.shard_optimizers:
+            opt.lr = value
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Each DP rank updates its shard, then parameters are allgathered.
+
+        (Gradients are assumed already averaged across DP — see
+        :mod:`repro.parallel.data_parallel`.)
+        """
+        for opt in self.shard_optimizers:
+            opt.step()
+        # Allgather the updated parameter shards.
+        if self.dp > 1:
+            for i, p in enumerate(self.params):
+                owner = self.dp_group[self.shard_of[i]]
+                for rank in self.dp_group:
+                    if rank != owner:
+                        self.cluster.stats.add(
+                            "allgather",
+                            "intra" if self.cluster.node_of(rank)
+                            == self.cluster.node_of(owner) else "inter",
+                            p.data.nbytes)
+
+    # -- accounting ------------------------------------------------------------
+    def state_bytes_on(self, shard: int) -> int:
+        return self.shard_optimizers[shard].state_bytes()
+
+    def max_state_bytes(self) -> int:
+        return max(self.state_bytes_on(s) for s in range(self.dp))
+
+    def replicated_state_bytes(self) -> int:
+        """What a non-sharded optimizer would hold on every rank."""
+        return sum(2 * p.data.nbytes for p in self.params)

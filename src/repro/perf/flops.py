@@ -1,0 +1,64 @@
+"""Analytical FLOPs model (paper Section VI-D: "We develop an analytical
+model to estimate floating point operations, which takes into account
+various AERIS model parameters").
+
+The model counts matmul FLOPs only — exactly what the runtime
+:class:`~repro.tensor.flops.FlopCounter` instruments — so the two are
+directly comparable; a test validates the formula against a live tiny model
+to the last FLOP.
+"""
+
+from __future__ import annotations
+
+from ..model import AerisConfig
+
+__all__ = ["forward_flops_per_sample", "training_flops_per_sample",
+           "forward_flops_per_block_token", "stage_forward_flops"]
+
+
+def forward_flops_per_block_token(config: AerisConfig) -> int:
+    """Forward matmul FLOPs per token per transformer block.
+
+    qkv (6 d^2) + output projection (2 d^2) + attention scores/values
+    (4 T d, T = tokens per window) + SwiGLU (6 d f).
+    """
+    d, f = config.dim, config.ffn_dim
+    t_win = config.tokens_per_window
+    return 8 * d * d + 6 * d * f + 4 * t_win * d
+
+
+def forward_flops_per_sample(config: AerisConfig) -> int:
+    """Forward matmul FLOPs for one sample (image)."""
+    d = config.dim
+    s = config.seq_len
+    per_block_tokens = config.n_blocks * s * forward_flops_per_block_token(config)
+    # Per-sample (not per-token) projections:
+    adaln = config.n_blocks * 2 * (2 * d * 3 * d)          # two adaLN / block
+    time_embed = 2 * config.time_freqs * d
+    p2 = config.patch_size ** 2
+    embed = 2 * s * config.in_channels * p2 * d
+    decode = 2 * s * d * config.channels * p2
+    return per_block_tokens + adaln + time_embed + embed + decode
+
+
+def training_flops_per_sample(config: AerisConfig) -> int:
+    """Forward + backward: backward of a matmul costs 2x its forward."""
+    return 3 * forward_flops_per_sample(config)
+
+
+def stage_forward_flops(config: AerisConfig, stage: int) -> int:
+    """Forward FLOPs of one pipeline stage (PP = L + 2) for one sample.
+
+    Stage 0 = I/O + embedding (+ time embedding); interior stages = one Swin
+    layer each; last stage = decode.
+    """
+    d = config.dim
+    s = config.seq_len
+    p2 = config.patch_size ** 2
+    if stage == 0:
+        return 2 * s * config.in_channels * p2 * d + 2 * config.time_freqs * d
+    if stage == config.pp_stages - 1:
+        return 2 * s * d * config.channels * p2
+    per_layer = config.blocks_per_layer * (
+        s * forward_flops_per_block_token(config) + 2 * (2 * d * 3 * d))
+    return per_layer

@@ -1,0 +1,45 @@
+"""Machine descriptions (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Machine", "AURORA", "LUMI"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """System configuration for performance evaluation (Table I)."""
+
+    name: str
+    gpus_per_node: int
+    tiles_per_node: int            # compute tiles (Aurora) / GCDs (LUMI)
+    gpu_memory_gb: float
+    gpu_memory_bw_tbs: float
+    nics_per_node: int
+    network_bw_gbs: float          # per direction, per node
+    scaleup_bw_gbs: float          # per direction, intra-node
+    peak_tflops_gpu_bf16: float
+
+    @property
+    def peak_tflops_tile_bf16(self) -> float:
+        tiles_per_gpu = self.tiles_per_node // self.gpus_per_node
+        return self.peak_tflops_gpu_bf16 / tiles_per_gpu
+
+    @property
+    def tile_memory_gb(self) -> float:
+        tiles_per_gpu = self.tiles_per_node // self.gpus_per_node
+        return self.gpu_memory_gb / tiles_per_gpu
+
+
+#: Aurora: Intel Max 1550, 6 GPUs (12 tiles)/node, Slingshot 11.
+AURORA = Machine(
+    name="Aurora", gpus_per_node=6, tiles_per_node=12, gpu_memory_gb=128.0,
+    gpu_memory_bw_tbs=2.0, nics_per_node=8, network_bw_gbs=200.0,
+    scaleup_bw_gbs=28.0, peak_tflops_gpu_bf16=458.0)
+
+#: LUMI: AMD MI250X, 4 GPUs (8 GCDs)/node, Slingshot 11.
+LUMI = Machine(
+    name="LUMI", gpus_per_node=4, tiles_per_node=8, gpu_memory_gb=128.0,
+    gpu_memory_bw_tbs=3.2, nics_per_node=4, network_bw_gbs=100.0,
+    scaleup_bw_gbs=50.0, peak_tflops_gpu_bf16=383.0)

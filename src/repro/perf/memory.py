@@ -1,0 +1,82 @@
+"""Memory model: model states and activations per GPU tile.
+
+Reproduces the paper's activation-memory claim: enabling WP on top of SP and
+PP divides activation memory by WP, "reducing the need for activation
+checkpointing" (which would otherwise cost ~1/3 extra recomputation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model import AerisConfig, count_parameters
+from ..parallel.topology import RankTopology
+from .pipeline_model import max_in_flight, schedule_1f1b
+
+__all__ = ["MemoryModel", "CHECKPOINT_RECOMPUTE_OVERHEAD"]
+
+_BF16 = 2
+_FP32 = 4
+
+#: Fraction of extra compute incurred by full activation checkpointing.
+CHECKPOINT_RECOMPUTE_OVERHEAD = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    config: AerisConfig
+    topology: RankTopology
+
+    # -- model states ------------------------------------------------------
+    def parameter_bytes_per_rank(self) -> int:
+        """BF16 working weights; parameters are sharded by PP stage only
+        (WP/SP shard data, not weights)."""
+        return count_parameters(self.config) * _BF16 // self.topology.pp
+
+    def optimizer_state_bytes_per_rank(self) -> int:
+        """FP32 master weights + two Adam moments, ZeRO-1 sharded over DP."""
+        per_stage = count_parameters(self.config) // self.topology.pp
+        return 3 * per_stage * _FP32 // max(self.topology.dp, 1)
+
+    def gradient_bytes_per_rank(self) -> int:
+        per_stage = count_parameters(self.config) // self.topology.pp
+        return per_stage * _FP32
+
+    # -- activations ---------------------------------------------------------
+    def activation_bytes_per_layer_per_sample(self) -> int:
+        """Stored tensors per transformer block per sample on one rank.
+
+        Roughly: block input + qkv + attention output + SwiGLU hidden (x2)
+        ~ (4·d + 2·f) per token, BF16, sharded by SP·WP.
+        """
+        cfg, topo = self.config, self.topology
+        per_token = (4 * cfg.dim + 2 * cfg.ffn_dim) * _BF16
+        tokens_per_rank = cfg.seq_len // (topo.sp * topo.wp)
+        return cfg.blocks_per_layer * per_token * tokens_per_rank
+
+    def activation_bytes_per_rank(self, micro_batch: int,
+                                  checkpointing: bool = False) -> int:
+        """Peak activation footprint of the busiest (first interior) stage
+        under 1F1B: ``in_flight`` microbatches resident at once."""
+        sched = schedule_1f1b(self.topology.pp,
+                              max(self.topology.pp, 2))
+        in_flight = max_in_flight(sched)
+        per_mb = self.activation_bytes_per_layer_per_sample() * micro_batch
+        if checkpointing:
+            # Only boundary activations retained.
+            cfg, topo = self.config, self.topology
+            per_mb = (cfg.dim * _BF16
+                      * cfg.seq_len // (topo.sp * topo.wp) * micro_batch)
+        return per_mb * in_flight
+
+    def total_bytes_per_rank(self, micro_batch: int,
+                             checkpointing: bool = False) -> int:
+        return (self.parameter_bytes_per_rank()
+                + self.optimizer_state_bytes_per_rank()
+                + self.gradient_bytes_per_rank()
+                + self.activation_bytes_per_rank(micro_batch, checkpointing))
+
+    def fits(self, micro_batch: int, tile_memory_gb: float,
+             checkpointing: bool = False) -> bool:
+        return (self.total_bytes_per_rank(micro_batch, checkpointing)
+                < tile_memory_gb * 1e9 * 0.9)  # 10% headroom

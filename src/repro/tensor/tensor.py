@@ -1,0 +1,515 @@
+"""A reverse-mode automatic-differentiation engine over NumPy arrays.
+
+This is the compute substrate standing in for PyTorch in the AERIS
+reproduction.  It provides exactly the operator set the AERIS architecture
+needs (dense matmul, reshaping/permutation, windowed gather via slicing and
+rolls, softmax attention, SwiGLU/RMSNorm elementwise math and reductions),
+instrumented so that:
+
+* every matmul reports its FLOPs to :mod:`repro.tensor.flops`, validating the
+  paper's analytical performance model, and
+* matmuls can run in emulated BF16 (:mod:`repro.tensor.bf16`), reproducing the
+  paper's mixed-precision split.
+
+Design notes
+------------
+Gradients are accumulated by a topological-order sweep (`Tensor.backward`).
+All arithmetic supports NumPy broadcasting; backward passes un-broadcast by
+summing over expanded axes.  Data is kept in FP32 unless a caller opts in to
+FP64 explicitly (useful in gradient-check tests).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .bf16 import bf16_matmul_enabled, round_bf16
+from .flops import add_flops, backward_phase, flops_enabled
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad():
+    """Disable graph construction within the block (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array-like, got Tensor")
+    arr = np.asarray(value)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if arr.dtype == np.float64:
+        return arr.astype(np.float32)
+    if not np.issubdtype(arr.dtype, np.floating):
+        return arr.astype(np.float32)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes that were prepended by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were expanded from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; floats are stored as FP32 unless ``dtype`` says
+        otherwise.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None, name: str = ""):
+        self.data = _as_array(data, dtype)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- basic introspection ------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad})"
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- graph construction ---------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, dtype=np.asarray(data).dtype)
+        out.requires_grad = requires
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (the tensor must then be a scalar to make
+        mathematical sense, but any shape is accepted).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        with backward_phase():
+            for node in reversed(topo):
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
+                    continue
+                node._accumulate(node_grad)
+                if node._backward is None:
+                    continue
+                parent_grads = node._backward(node_grad)
+                for parent, pgrad in zip(node._parents, parent_grads):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + pgrad
+                    else:
+                        grads[key] = pgrad
+
+    # -- arithmetic -------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data + other.data
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data - other.data
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other).__sub__(self)
+
+    def __neg__(self):
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data * other.data
+        def backward(g):
+            return (_unbroadcast(g * other.data, self.shape),
+                    _unbroadcast(g * self.data, other.shape))
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        data = self.data / other.data
+        def backward(g):
+            return (_unbroadcast(g / other.data, self.shape),
+                    _unbroadcast(-g * self.data / (other.data ** 2), other.shape))
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float):
+        if isinstance(exponent, Tensor):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self.data, other.data
+        if bf16_matmul_enabled():
+            a, b = round_bf16(a), round_bf16(b)
+        data = a @ b
+        if flops_enabled():
+            # 2*m*k*n per output batch element (multiply + add).
+            k = a.shape[-1]
+            add_flops(2 * data.size * k)
+        def backward(g):
+            if bf16_matmul_enabled():
+                gq = round_bf16(g)
+            else:
+                gq = g
+            if flops_enabled():
+                k = a.shape[-1]
+                add_flops(4 * g.size * k if a.ndim > 1 and b.ndim > 1 else 2 * g.size * k)
+            if b.ndim == 1:
+                ga = np.outer(gq, b) if a.ndim > 1 else gq * b
+                gb = (a.reshape(-1, a.shape[-1]).T @ gq.reshape(-1)) if a.ndim > 1 else a * gq
+            elif a.ndim == 1:
+                ga = gq @ np.swapaxes(b, -1, -2)
+                gb = np.outer(a, gq)
+            else:
+                ga = gq @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ gq
+            return (_unbroadcast(ga, self.shape), _unbroadcast(gb, other.shape))
+        return Tensor._make(data, (self, other), backward)
+
+    # -- elementwise functions ------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data,))
+
+    def log(self):
+        return Tensor._make(np.log(self.data), (self,), lambda g: (g / self.data,))
+
+    def sin(self):
+        return Tensor._make(np.sin(self.data), (self,), lambda g: (g * np.cos(self.data),))
+
+    def cos(self):
+        return Tensor._make(np.cos(self.data), (self,), lambda g: (-g * np.sin(self.data),))
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+
+    def tanh(self):
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+
+    def silu(self):
+        """SiLU/swish activation, the gate of SwiGLU."""
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        data = self.data * sig
+        def backward(g):
+            return (g * sig * (1.0 + self.data * (1.0 - sig)),)
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def abs(self):
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def clip(self, low: float | None, high: float | None):
+        data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+        return Tensor._make(data, (self,), lambda g: (g * mask,))
+
+    # -- reductions --------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape, nd = self.shape, self.ndim
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(a % nd for a in axes)
+            if not keepdims:
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            return (np.broadcast_to(g, shape).copy(),)
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for a in axes:
+                count *= self.shape[a % self.ndim]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False):
+        """Maximum reduction; gradient flows to (all) argmax positions equally."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        def backward(g):
+            expanded = data if keepdims or axis is None else np.expand_dims(
+                data, axis if isinstance(axis, int) else tuple(axis))
+            gexp = g if keepdims or axis is None else np.expand_dims(
+                g, axis if isinstance(axis, int) else tuple(axis))
+            mask = (self.data == expanded).astype(self.data.dtype)
+            counts = mask.sum(axis=axis, keepdims=True)
+            return (mask / counts * gexp,)
+        return Tensor._make(data, (self,), backward)
+
+    # -- shape manipulation ----------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+        return Tensor._make(data, (self,), lambda g: (g.reshape(original),))
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+        return Tensor._make(data, (self,), lambda g: (g.transpose(inverse),))
+
+    def swapaxes(self, a: int, b: int):
+        data = self.data.swapaxes(a, b)
+        return Tensor._make(data, (self,), lambda g: (g.swapaxes(a, b),))
+
+    def roll(self, shift, axis):
+        """Circular shift; used for Swin's window shifting on the periodic
+        longitude axis."""
+        data = np.roll(self.data, shift, axis=axis)
+        def backward(g):
+            if isinstance(shift, tuple):
+                back = tuple(-s for s in shift)
+            else:
+                back = -shift
+            return (np.roll(g, back, axis=axis),)
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index):
+        data = self.data[index]
+        shape = self.shape
+        def backward(g):
+            full = np.zeros(shape, dtype=g.dtype)
+            np.add.at(full, index, g)
+            return (full,)
+        return Tensor._make(data, (self,), backward)
+
+    def pad(self, pad_width):
+        """Zero padding (NumPy ``pad_width`` convention)."""
+        data = np.pad(self.data, pad_width)
+        def backward(g):
+            slices = tuple(slice(before, g.shape[i] - after)
+                           for i, (before, after) in enumerate(pad_width))
+            return (g[slices],)
+        return Tensor._make(data, (self,), backward)
+
+    # -- composite ops used by attention -----------------------------------
+    def softmax(self, axis: int = -1):
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out = exp / exp.sum(axis=axis, keepdims=True)
+        def backward(g):
+            dot = (g * out).sum(axis=axis, keepdims=True)
+            return ((g - dot) * out,)
+        return Tensor._make(out, (self,), backward)
+
+    # -- comparison helpers (no grad) ---------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+# -- module-level constructors and free functions ------------------------
+
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+    def backward(g):
+        grads = []
+        for i in range(len(tensors)):
+            idx = [slice(None)] * g.ndim
+            idx[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(idx)])
+        return tuple(grads)
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+    return Tensor._make(data, tensors, backward)
+
+
+def split(t: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
+    """Split into ``sections`` equal chunks along ``axis``."""
+    size = t.shape[axis]
+    if size % sections:
+        raise ValueError(f"axis of size {size} not divisible into {sections}")
+    step = size // sections
+    outs = []
+    for i in range(sections):
+        idx = [slice(None)] * t.ndim
+        idx[axis] = slice(i * step, (i + 1) * step)
+        outs.append(t[tuple(idx)])
+    return outs
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    a, b = Tensor._coerce(a), Tensor._coerce(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+    def backward(g):
+        return (_unbroadcast(np.where(cond, g, 0.0), a.shape),
+                _unbroadcast(np.where(cond, 0.0, g), b.shape))
+    return Tensor._make(data, (a, b), backward)

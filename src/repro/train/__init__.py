@@ -1,0 +1,8 @@
+"""Training: reference single-process loop and checkpointing."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .finetune import MultistepConfig, MultistepFinetuner
+from .trainer import Trainer, TrainerConfig
+
+__all__ = ["Trainer", "TrainerConfig", "save_checkpoint", "load_checkpoint",
+           "MultistepFinetuner", "MultistepConfig"]

@@ -1,0 +1,45 @@
+"""Checkpointing: model weights, optimizer state, and EMA shadow weights."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import EMA, AdamW, Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
+                    ema: EMA | None = None, images_seen: float = 0.0) -> None:
+    """Serialize training state to a single ``.npz`` file."""
+    payload: dict[str, np.ndarray] = {"meta/images_seen": np.asarray(images_seen)}
+    for name, array in model.state_dict().items():
+        payload[f"model/{name}"] = array
+    if optimizer is not None:
+        payload["opt/step_count"] = np.asarray(optimizer.step_count)
+        for i, m in enumerate(optimizer.exp_avg):
+            payload[f"opt/m/{i}"] = m
+        for i, v in enumerate(optimizer.exp_avg_sq):
+            payload[f"opt/v/{i}"] = v
+    if ema is not None:
+        for name, array in ema.state_dict().items():
+            payload[f"ema/{name}"] = array
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
+                    ema: EMA | None = None) -> float:
+    """Restore training state; returns ``images_seen``."""
+    with np.load(path) as data:
+        model.load_state_dict({
+            name[len("model/"):]: data[name]
+            for name in data.files if name.startswith("model/")})
+        if optimizer is not None:
+            optimizer.step_count = int(data["opt/step_count"])
+            for i in range(len(optimizer.exp_avg)):
+                optimizer.exp_avg[i][...] = data[f"opt/m/{i}"]
+                optimizer.exp_avg_sq[i][...] = data[f"opt/v/{i}"]
+        if ema is not None:
+            for name in list(ema.shadow):
+                ema.shadow[name][...] = data[f"ema/{name}"]
+        return float(data["meta/images_seen"])

@@ -1,0 +1,152 @@
+"""Single-process training loop for AERIS (the distributed loop lives in
+:mod:`repro.parallel.swipe`; this one is the reference implementation the
+parallel engine is verified against).
+
+Follows Section VI-B: TrigFlow objective on standardized residuals with
+latitude/pressure weighting, AdamW (betas [0.85, 0.9], wd 0.01), warmup →
+constant → linear-decay LR measured in images, and an EMA of parameters used
+at inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import SyntheticReanalysis, TOY_SET
+from ..diffusion import (
+    ResidualForecaster,
+    SolverConfig,
+    TrigFlow,
+    weighted_velocity_loss,
+)
+from ..model import Aeris
+from ..nn import EMA, AdamW, WarmupConstantDecay
+from ..tensor import Tensor
+
+__all__ = ["TrainerConfig", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training-run hyperparameters (paper defaults, rescaled for toy runs)."""
+
+    batch_size: int = 8
+    peak_lr: float = 5e-4
+    warmup_images: float = 200.0
+    total_images: float = 20_000.0
+    decay_images: float = 1_000.0
+    ema_halflife_images: float = 2_000.0
+    weight_decay: float = 0.01
+    betas: tuple[float, float] = (0.85, 0.9)
+    seed: int = 0
+
+
+class Trainer:
+    """Trains an :class:`~repro.model.Aeris` on a synthetic reanalysis."""
+
+    def __init__(self, model: Aeris, archive: SyntheticReanalysis,
+                 config: TrainerConfig = TrainerConfig(),
+                 flow: TrigFlow = TrigFlow()):
+        if model.config.channels != len(TOY_SET):
+            raise ValueError("model channel count must match the archive")
+        self.model = model
+        self.archive = archive
+        self.config = config
+        self.flow = flow
+        self.state_norm = archive.state_normalizer()
+        self.residual_norm = archive.residual_normalizer()
+        self.forcing_norm = archive.forcing_normalizer()
+        self.optimizer = AdamW(model.parameters(), lr=config.peak_lr,
+                               betas=config.betas,
+                               weight_decay=config.weight_decay)
+        self.schedule = WarmupConstantDecay(
+            peak_lr=config.peak_lr, warmup_images=config.warmup_images,
+            total_images=config.total_images,
+            decay_images=config.decay_images)
+        self.ema = EMA(model, halflife_images=config.ema_halflife_images)
+        self.lat_weights = archive.grid.latitude_weights()
+        self.var_weights = np.asarray(TOY_SET.kappa_weights())
+        self.images_seen = 0.0
+        self.rng_batch = np.random.default_rng(config.seed)
+        self.rng_t = np.random.default_rng(config.seed + 1)
+        self.rng_z = np.random.default_rng(config.seed + 2)
+        self.history: list[float] = []
+
+    # -- one optimization step ------------------------------------------------
+    def train_step(self) -> float:
+        cfg = self.config
+        indices = self.rng_batch.choice(self.archive.split_indices("train"),
+                                        size=cfg.batch_size, replace=False)
+        cond, residual, forc = self.archive.training_batch(
+            indices, self.state_norm, self.residual_norm, self.forcing_norm)
+        x_t, t, v_target = self.flow.training_pair(residual, self.rng_t,
+                                                   self.rng_z)
+        self.optimizer.zero_grad()
+        pred = self.model(Tensor(x_t / self.flow.sigma_d),
+                          Tensor(t), Tensor(cond), Tensor(forc))
+        loss = weighted_velocity_loss(pred * self.flow.sigma_d, v_target,
+                                      self.lat_weights, self.var_weights)
+        loss.backward()
+        self.optimizer.lr = self.schedule.lr_at(self.images_seen)
+        self.optimizer.step()
+        self.images_seen += cfg.batch_size
+        self.ema.update(self.model, images_per_step=cfg.batch_size)
+        value = loss.item()
+        self.history.append(value)
+        return value
+
+    def fit(self, n_steps: int) -> list[float]:
+        for _ in range(n_steps):
+            self.train_step()
+        return self.history
+
+    def validation_loss(self, n_batches: int = 4, seed: int = 1234) -> float:
+        """Mean weighted diffusion loss over held-out validation samples.
+
+        Uses fixed generators so successive calls are comparable (the same
+        noise levels and noise fields are drawn each time).
+        """
+        rng_batch = np.random.default_rng(seed)
+        rng_t = np.random.default_rng(seed + 1)
+        rng_z = np.random.default_rng(seed + 2)
+        indices_pool = self.archive.split_indices("val")
+        losses = []
+        from ..tensor import no_grad
+        for _ in range(n_batches):
+            indices = rng_batch.choice(indices_pool,
+                                       size=self.config.batch_size,
+                                       replace=False)
+            cond, residual, forc = self.archive.training_batch(
+                indices, self.state_norm, self.residual_norm,
+                self.forcing_norm)
+            x_t, t, v_target = self.flow.training_pair(residual, rng_t, rng_z)
+            with no_grad():
+                pred = self.model(Tensor(x_t / self.flow.sigma_d), Tensor(t),
+                                  Tensor(cond), Tensor(forc))
+                loss = weighted_velocity_loss(
+                    pred * self.flow.sigma_d, v_target, self.lat_weights,
+                    self.var_weights)
+            losses.append(loss.item())
+        return float(np.mean(losses))
+
+    # -- inference export ------------------------------------------------------
+    def forecaster(self, solver_config: SolverConfig = SolverConfig(),
+                   use_ema: bool = True) -> ResidualForecaster:
+        """Build a forecaster; by default with EMA weights, per the paper
+        ("using only these weights during inference")."""
+        inference_model = Aeris(self.model.config)
+        inference_model.load_state_dict(self.model.state_dict())
+        if use_ema:
+            self.ema.copy_to(inference_model)
+        inference_model.eval()
+        return ResidualForecaster(
+            model=inference_model,
+            state_norm=self.state_norm,
+            residual_norm=self.residual_norm,
+            forcing_fn=lambda i: self.archive.forcing_provider(
+                self.archive.gcm_step(i)),
+            forcing_norm=self.forcing_norm,
+            flow=self.flow,
+            solver_config=solver_config)

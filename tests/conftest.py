@@ -1,0 +1,25 @@
+"""Shared fixtures: a small synthetic reanalysis reused across test modules
+(generation takes a few seconds, so it is session-scoped)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ReanalysisConfig, SyntheticReanalysis
+
+
+@pytest.fixture(scope="session")
+def tiny_archive() -> SyntheticReanalysis:
+    """16x32 archive, ~0.8 years total (train 0.5 / val 0.1 / test 0.2)."""
+    config = ReanalysisConfig(height=16, width=32, train_years=0.5,
+                              val_years=0.1, test_years=0.2, seed=0,
+                              spinup_steps=120)
+    return SyntheticReanalysis(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_norms(tiny_archive):
+    return {
+        "state": tiny_archive.state_normalizer(),
+        "residual": tiny_archive.residual_normalizer(),
+        "forcing": tiny_archive.forcing_normalizer(),
+    }

@@ -1,0 +1,223 @@
+"""Tests for the toy GCM: determinism, chaos, seasonality, events, ENSO."""
+
+import numpy as np
+import pytest
+
+from repro.data import GcmConfig, LatLonGrid, StaticFields, ToyGCM, TOY_SET
+from repro.data.forcings import STEPS_PER_DAY, STEPS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def gcm():
+    grid = LatLonGrid(16, 32)
+    static = StaticFields.generate(grid)
+    return ToyGCM(grid, static)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, gcm):
+        s1 = gcm.initial_state(seed=5, spinup_steps=40)
+        s2 = gcm.initial_state(seed=5, spinup_steps=40)
+        for _ in range(20):
+            gcm.step(s1)
+            gcm.step(s2)
+        np.testing.assert_array_equal(gcm.diagnostics(s1), gcm.diagnostics(s2))
+
+    def test_clone_forks_independently(self, gcm):
+        state = gcm.initial_state(seed=1, spinup_steps=40)
+        fork = state.clone()
+        gcm.step(state)
+        # The fork must be untouched by stepping the original.
+        assert fork.step == state.step - 1
+        gcm.step(fork)
+        np.testing.assert_array_equal(gcm.diagnostics(fork),
+                                      gcm.diagnostics(state))
+
+
+class TestChaos:
+    def test_sensitivity_to_initial_conditions(self, gcm):
+        """Tiny latent perturbations must grow — finite predictability."""
+        a = gcm.initial_state(seed=2, spinup_steps=60)
+        b = a.clone()
+        b.latents = b.latents + 1e-6
+        diffs = []
+        for _ in range(160):  # 40 days
+            gcm.step(a)
+            gcm.step(b)
+            diffs.append(np.abs(a.latents - b.latents).max())
+        assert diffs[-1] > 1e3 * diffs[0]
+
+    def test_fields_diverge_too(self, gcm):
+        a = gcm.initial_state(seed=3, spinup_steps=60)
+        b = a.clone()
+        b.latents = b.latents * (1 + 1e-5)
+        for _ in range(240):
+            gcm.step(a)
+            gcm.step(b)
+        z = TOY_SET.index("Z500")
+        diff = np.abs(gcm.diagnostics(a)[..., z] - gcm.diagnostics(b)[..., z])
+        assert diff.max() > 5.0
+
+    def test_fields_remain_bounded(self, gcm):
+        state = gcm.initial_state(seed=4, spinup_steps=40)
+        for _ in range(400):
+            gcm.step(state)
+        f = gcm.diagnostics(state)
+        assert np.isfinite(f).all()
+        t2m = f[..., TOY_SET.index("T2M")]
+        assert 170 < t2m.min() and t2m.max() < 360
+
+
+class TestSeasonality:
+    def test_t2m_seasonal_cycle(self, gcm):
+        """NH midlatitudes warmer at NH-summer steps than NH-winter steps."""
+        state = gcm.initial_state(seed=6, spinup_steps=40)
+        grid = gcm.grid
+        nh = grid.lat_index(50.0)
+        t2m_by_step = {}
+        for target_doy in (20, 200):
+            s = state.clone()
+            target_step = ((target_doy * STEPS_PER_DAY - s.step)
+                           % STEPS_PER_YEAR)
+            for _ in range(target_step):
+                gcm.step(s)
+            t2m_by_step[target_doy] = gcm.diagnostics(s)[
+                nh, :, TOY_SET.index("T2M")].mean()
+        assert t2m_by_step[200] > t2m_by_step[20] + 5.0
+
+    def test_jet_shifts_with_season(self, gcm):
+        winter = gcm.jet(10 * STEPS_PER_DAY)       # early January
+        summer = gcm.jet(200 * STEPS_PER_DAY)      # mid July
+        nh = gcm.grid.lat_index(42.0)
+        sh = gcm.grid.lat_index(-42.0)
+        assert winter[nh] > summer[nh]   # NH jet stronger in NH winter
+        assert summer[sh] > winter[sh]
+
+
+class TestEnso:
+    def test_oscillation_period(self, gcm):
+        """The Niño index must oscillate on interannual timescales: the
+        dominant spectral period should land in the 2–6 year ENSO band."""
+        state = gcm.initial_state(seed=7, spinup_steps=40)
+        series = []
+        for _ in range(STEPS_PER_YEAR * 8):
+            gcm.step(state)
+            series.append(state.enso[0])
+        series = np.asarray(series)
+        series = series - series.mean()
+        spec = np.abs(np.fft.rfft(series)) ** 2
+        freqs = np.fft.rfftfreq(len(series), d=1.0 / STEPS_PER_YEAR)
+        peak_period = 1.0 / freqs[1:][np.argmax(spec[1:])]
+        assert 2.0 <= peak_period <= 6.0
+        assert np.abs(series).max() > 0.3
+
+    def test_enso_imprints_equatorial_sst(self, gcm):
+        state = gcm.initial_state(seed=8, spinup_steps=40)
+        sst_idx = TOY_SET.index("SST")
+        base = gcm.diagnostics(state)[..., sst_idx]
+        warm = state.clone()
+        warm.enso = np.array([2.0, 0.0])
+        warmed = gcm.diagnostics(warm)[..., sst_idx]
+        diff = warmed - base
+        nino = gcm.grid.box_mask(-5, 5, 190, 240)
+        ocean = gcm.static.land_mask < 0.5
+        assert diff[nino & ocean].mean() > 1.0
+        far = gcm.grid.box_mask(40, 60, 0, 60) & ocean
+        if far.any():
+            assert abs(diff[far].mean()) < 0.5
+
+
+class TestEvents:
+    def _run_year(self, gcm, seed):
+        state = gcm.initial_state(seed=seed, spinup_steps=40)
+        tc_count, hw_count = 0, 0
+        seen_tc, seen_hw = set(), set()
+        for _ in range(STEPS_PER_YEAR):
+            gcm.step(state)
+            for tc in state.cyclones:
+                key = id(tc)
+                if key not in seen_tc:
+                    seen_tc.add(key)
+                    tc_count += 1
+            for hw in state.heatwaves:
+                key = id(hw)
+                if key not in seen_hw:
+                    seen_hw.add(key)
+                    hw_count += 1
+        return tc_count, hw_count
+
+    def test_events_occur(self, gcm):
+        tc, hw = self._run_year(gcm, seed=9)
+        assert tc >= 1, "expected at least one tropical cyclone per year"
+        assert hw >= 1, "expected at least one heatwave per year"
+
+    def test_cyclone_imprint_lowers_mslp(self, gcm):
+        from repro.data.gcm import TropicalCyclone
+        state = gcm.initial_state(seed=10, spinup_steps=40)
+        base = gcm.diagnostics(state)[..., TOY_SET.index("MSLP")]
+        state.cyclones.append(TropicalCyclone(lat=20.0, lon=280.0,
+                                              intensity=1.0))
+        hit = gcm.diagnostics(state)[..., TOY_SET.index("MSLP")]
+        i, j = gcm.grid.lat_index(20.0), gcm.grid.lon_index(280.0)
+        assert hit[i, j] < base[i, j] - 10.0
+
+    def test_cyclone_winds_are_cyclonic(self, gcm):
+        from repro.data.gcm import TropicalCyclone
+        state = gcm.initial_state(seed=11, spinup_steps=40)
+        u_idx, v_idx = TOY_SET.index("U10"), TOY_SET.index("V10")
+        base = gcm.diagnostics(state)
+        state.cyclones.append(TropicalCyclone(lat=20.0, lon=180.0,
+                                              intensity=1.0))
+        hit = gcm.diagnostics(state)
+        du = hit[..., u_idx] - base[..., u_idx]
+        dv = hit[..., v_idx] - base[..., v_idx]
+        i, j = gcm.grid.lat_index(20.0), gcm.grid.lon_index(180.0)
+        # North of an NH cyclone the flow anomaly is westward (du < 0).
+        assert du[max(i - 2, 0), j] < 0
+        assert du[min(i + 2, gcm.grid.height - 1), j] > 0
+        assert np.abs(dv).max() > 0.1
+
+    def test_heatwave_warms_surface(self, gcm):
+        from repro.data.gcm import Heatwave
+        state = gcm.initial_state(seed=12, spinup_steps=40)
+        land_rows, land_cols = np.nonzero(gcm.static.land_mask > 0.5)
+        # pick a midlatitude land cell
+        pick = np.argmin(np.abs(gcm.grid.lats[land_rows] - 45.0))
+        lat = gcm.grid.lats[land_rows[pick]]
+        lon = gcm.grid.lons[land_cols[pick]]
+        base = gcm.diagnostics(state)[..., TOY_SET.index("T2M")]
+        state.heatwaves.append(Heatwave(lat=lat, lon=lon, amplitude=8.0,
+                                        age_days=4.0, duration_days=10.0))
+        hot = gcm.diagnostics(state)[..., TOY_SET.index("T2M")]
+        assert hot[land_rows[pick], land_cols[pick]] > \
+            base[land_rows[pick], land_cols[pick]] + 3.0
+
+
+class TestPerturbedTwin:
+    def test_twin_has_different_physics(self, gcm):
+        twin = gcm.perturbed_twin(rel_error=0.1, seed=0)
+        assert twin.config.jet_speed != gcm.config.jet_speed
+        assert twin.config.l96_forcing != gcm.config.l96_forcing
+
+    def test_twin_shares_spatial_patterns(self, gcm):
+        """Twins perturb constants, not geography/basis (shared seed)."""
+        twin = gcm.perturbed_twin(rel_error=0.1, seed=1)
+        np.testing.assert_array_equal(twin.basis_q, gcm.basis_q)
+
+    def test_twin_forecast_degrades_gracefully(self, gcm):
+        """A twin forecast from the true state stays closer than climatology
+        for short leads but drifts from the truth."""
+        state = gcm.initial_state(seed=13, spinup_steps=60)
+        twin = gcm.perturbed_twin(rel_error=0.08, seed=2)
+        truth = state.clone()
+        fcst = state.clone()
+        z = TOY_SET.index("Z500")
+        errs = []
+        for _ in range(20):  # 5 days
+            gcm.step(truth)
+            twin.step(fcst)
+            errs.append(np.sqrt(np.mean(
+                (gcm.diagnostics(truth)[..., z]
+                 - twin.diagnostics(fcst)[..., z]) ** 2)))
+        assert errs[-1] > errs[0]          # error grows
+        assert errs[0] < 50.0              # but starts small (good analysis)

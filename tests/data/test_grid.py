@@ -1,0 +1,111 @@
+"""Tests for the lat-lon grid utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import LatLonGrid
+
+
+class TestLayout:
+    def test_poles_excluded_and_symmetric(self):
+        grid = LatLonGrid(24, 48)
+        assert grid.lats.max() < 90.0
+        assert grid.lats.min() > -90.0
+        np.testing.assert_allclose(grid.lats, -grid.lats[::-1])
+
+    def test_north_to_south_ordering(self):
+        grid = LatLonGrid(24, 48)
+        assert np.all(np.diff(grid.lats) < 0)
+
+    def test_lons_span_globe(self):
+        grid = LatLonGrid(24, 48)
+        assert grid.lons[0] == 0.0
+        assert grid.lons[-1] == 360.0 - grid.dlon
+        np.testing.assert_allclose(np.diff(grid.lons), grid.dlon)
+
+    def test_era5_shape(self):
+        grid = LatLonGrid(720, 1440)
+        assert grid.dlat == 0.25 and grid.dlon == 0.25
+
+
+class TestWeights:
+    def test_mean_one(self):
+        grid = LatLonGrid(32, 64)
+        np.testing.assert_allclose(grid.latitude_weights().mean(), 1.0,
+                                   rtol=1e-12)
+
+    def test_equator_heavier_than_poles(self):
+        grid = LatLonGrid(32, 64)
+        w = grid.latitude_weights()
+        assert w[len(w) // 2] > 2 * w[0]
+
+    def test_area_mean_of_ones_is_one(self):
+        grid = LatLonGrid(16, 32)
+        field = np.ones((16, 32))
+        np.testing.assert_allclose(grid.area_mean(field), 1.0)
+
+    def test_area_mean_weights_equator(self):
+        grid = LatLonGrid(16, 32)
+        field = np.zeros((16, 32))
+        field[8, :] = 1.0  # near-equator row
+        field_p = np.zeros((16, 32))
+        field_p[0, :] = 1.0  # near-pole row
+        assert grid.area_mean(field) > grid.area_mean(field_p)
+
+    def test_area_mean_with_leading_axes(self):
+        grid = LatLonGrid(8, 16)
+        fields = np.ones((3, 8, 16)) * np.array([1.0, 2.0, 3.0])[:, None, None]
+        np.testing.assert_allclose(grid.area_mean(fields), [1.0, 2.0, 3.0])
+
+
+class TestIndexing:
+    def test_lat_index_roundtrip(self):
+        grid = LatLonGrid(24, 48)
+        for lat in (-80.0, -45.0, 0.0, 30.0, 85.0):
+            idx = grid.lat_index(lat)
+            assert abs(grid.lats[idx] - lat) <= grid.dlat
+
+    @given(st.floats(min_value=0.0, max_value=719.9))
+    @settings(max_examples=50, deadline=None)
+    def test_lon_index_in_range(self, lon):
+        grid = LatLonGrid(24, 48)
+        assert 0 <= grid.lon_index(lon) < 48
+
+    def test_lon_wraps(self):
+        grid = LatLonGrid(24, 48)
+        assert grid.lon_index(360.0) == grid.lon_index(0.0)
+        assert grid.lon_index(-7.5) == grid.lon_index(352.5)
+
+
+class TestMasks:
+    def test_nino34_box(self):
+        grid = LatLonGrid(32, 64)
+        mask = grid.box_mask(-5.0, 5.0, 190.0, 240.0)
+        lat_rows = np.nonzero(mask.any(axis=1))[0]
+        assert np.all(np.abs(grid.lats[lat_rows]) <= 5.0 + grid.dlat)
+        assert mask.sum() > 0
+
+    def test_narrow_box_nonempty_on_coarse_grid(self):
+        """Half-cell margin keeps physically meaningful boxes non-empty."""
+        grid = LatLonGrid(16, 32)  # dlat = 11.25: no center inside ±5
+        assert grid.box_mask(-5.0, 5.0, 190.0, 240.0).any()
+
+    def test_wrapping_lon_box(self):
+        grid = LatLonGrid(16, 32)
+        mask = grid.box_mask(-90.0, 90.0, 350.0, 10.0)
+        cols = np.nonzero(mask.any(axis=0))[0]
+        lons = grid.lons[cols]
+        margin = grid.dlon / 2
+        assert all(lon >= 350.0 - margin or lon <= 10.0 + margin
+                   for lon in lons)
+        # Far-away longitudes stay excluded.
+        assert not mask[:, grid.lon_index(180.0)].any()
+
+    def test_band_mask(self):
+        grid = LatLonGrid(16, 32)
+        mask = grid.band_mask(-10.0, 10.0)
+        assert mask.any()
+        rows = np.nonzero(mask.any(axis=1))[0]
+        assert np.all(np.abs(grid.lats[rows]) <= 10.0 + grid.dlat / 2)

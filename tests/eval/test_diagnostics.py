@@ -1,0 +1,193 @@
+"""Tests for domain diagnostics: spectra, ENSO, Hovmöller, tracking,
+heatwaves."""
+
+import numpy as np
+import pytest
+
+from repro.data import LatLonGrid, TOY_SET
+from repro.eval import (
+    heatwave_detected,
+    heatwave_hit_rate,
+    hovmoller,
+    nino34_index,
+    point_series,
+    propagation_speed,
+    sharpness_ratio,
+    track_cyclone,
+    track_error_km,
+    zonal_power_spectrum,
+)
+
+grid = LatLonGrid(16, 32)
+rng = np.random.default_rng(0)
+
+
+class TestSpectra:
+    def test_single_mode(self):
+        x = np.cos(2 * np.pi * 3 * np.arange(32) / 32)
+        field = np.tile(x, (16, 1))
+        ps = zonal_power_spectrum(field)
+        assert np.argmax(ps) == 3
+
+    def test_white_noise_flat_vs_smooth(self):
+        noise = rng.normal(size=(16, 32))
+        smooth = np.cumsum(noise, axis=1)
+        ps_n = zonal_power_spectrum(noise)
+        ps_s = zonal_power_spectrum(smooth)
+        # Smooth field concentrates power at low wavenumbers.
+        assert ps_s[1] / ps_s[10:].mean() > ps_n[1] / ps_n[10:].mean()
+
+    def test_sharpness_of_blurred_field(self):
+        truth = rng.normal(size=(16, 32))
+        blurred = (truth + np.roll(truth, 1, axis=1)
+                   + np.roll(truth, -1, axis=1)) / 3.0
+        ratio = sharpness_ratio(blurred, truth)
+        assert ratio < 0.7
+
+    def test_sharpness_of_identical_field(self):
+        truth = rng.normal(size=(4, 16, 32))
+        assert sharpness_ratio(truth, truth) == pytest.approx(1.0)
+
+
+class TestNino34:
+    def test_detects_warm_anomaly(self):
+        c = len(TOY_SET)
+        fields = np.zeros((3, 16, 32, c), dtype=np.float32)
+        clim = np.zeros((16, 32, c), dtype=np.float32)
+        mask = grid.box_mask(-5, 5, 190, 240)
+        fields[1, ..., TOY_SET.index("SST")][mask] = 2.0
+        idx = nino34_index(fields, grid, climatology=clim)
+        assert idx.shape == (3,)
+        assert idx[0] == 0.0
+        assert idx[1] > 1.0
+
+    def test_ignores_extratropical_sst(self):
+        c = len(TOY_SET)
+        fields = np.zeros((1, 16, 32, c), dtype=np.float32)
+        north = grid.box_mask(40, 60, 0, 359)
+        fields[0, ..., TOY_SET.index("SST")][north] = 5.0
+        assert nino34_index(fields, grid)[0] == 0.0
+
+
+class TestHovmoller:
+    def _moving_wave(self, speed_deg_per_step, n_steps=40):
+        c = len(TOY_SET)
+        fields = np.zeros((n_steps, 16, 32, c), dtype=np.float32)
+        lons = grid.lons
+        eq = [grid.lat_index(0.0), grid.lat_index(5.0), grid.lat_index(-5.0)]
+        for t in range(n_steps):
+            wave = np.sin(np.deg2rad(3 * (lons - speed_deg_per_step * t)))
+            for row in eq:
+                fields[t, row, :, TOY_SET.index("U850")] = wave
+        return fields
+
+    def test_shape(self):
+        fields = self._moving_wave(2.0)
+        diagram = hovmoller(fields, grid)
+        assert diagram.shape == (40, 32)
+
+    def test_eastward_propagation_positive_speed(self):
+        diagram = hovmoller(self._moving_wave(+3.0), grid)
+        speed = propagation_speed(diagram, dt_hours=6.0, dlon_deg=grid.dlon)
+        assert speed > 0
+
+    def test_westward_propagation_negative_speed(self):
+        diagram = hovmoller(self._moving_wave(-3.0), grid)
+        speed = propagation_speed(diagram, dt_hours=6.0, dlon_deg=grid.dlon)
+        assert speed < 0
+
+    def test_speed_magnitude(self):
+        # 3 deg/step at 4 steps/day = 12 deg/day.
+        diagram = hovmoller(self._moving_wave(3.0, n_steps=80), grid)
+        speed = propagation_speed(diagram, dt_hours=6.0, dlon_deg=grid.dlon)
+        assert 6.0 < speed < 24.0
+
+    def test_midlatitude_signal_excluded(self):
+        c = len(TOY_SET)
+        fields = np.zeros((5, 16, 32, c), dtype=np.float32)
+        fields[:, grid.lat_index(50.0), :, TOY_SET.index("U850")] = 7.0
+        diagram = hovmoller(fields, grid)
+        np.testing.assert_allclose(diagram, 0.0)
+
+
+class TestTracking:
+    def _storm_fields(self, track_lats, track_lons, depth=30.0):
+        c = len(TOY_SET)
+        n = len(track_lats)
+        fields = np.zeros((n, 16, 32, c), dtype=np.float32)
+        fields[..., TOY_SET.index("MSLP")] = 1013.0
+        for t, (la, lo) in enumerate(zip(track_lats, track_lons)):
+            dlat = grid.lats[:, None] - la
+            dlon = np.abs(grid.lons[None, :] - lo)
+            dlon = np.minimum(dlon, 360 - dlon)
+            blob = np.exp(-(dlat ** 2 + dlon ** 2) / (2 * 8.0 ** 2))
+            fields[t, ..., TOY_SET.index("MSLP")] -= depth * blob
+            fields[t, ..., TOY_SET.index("U10")] += 20.0 * blob
+        return fields
+
+    def test_follows_moving_low(self):
+        lats = np.linspace(15.0, 30.0, 10)
+        lons = np.linspace(280.0, 260.0, 10)
+        fields = self._storm_fields(lats, lons)
+        track = track_cyclone(fields, grid, start_lat=15.0, start_lon=280.0)
+        assert len(track) == 10
+        # Track follows the prescribed path within one grid cell.
+        for pt, la, lo in zip(track, lats, lons):
+            assert abs(pt.lat - la) <= grid.dlat
+            dlon = abs(pt.lon - lo) % 360
+            assert min(dlon, 360 - dlon) <= grid.dlon
+
+    def test_intensity_reported(self):
+        fields = self._storm_fields([20.0], [280.0], depth=40.0)
+        track = track_cyclone(fields, grid, 20.0, 280.0)
+        assert track[0].min_mslp < 1013.0 - 30.0
+        assert track[0].max_wind > 10.0
+
+    def test_track_error_zero_for_identical(self):
+        fields = self._storm_fields([15.0, 17.0], [280.0, 278.0])
+        track = track_cyclone(fields, grid, 15.0, 280.0)
+        err = track_error_km(track, track)
+        np.testing.assert_allclose(err, 0.0, atol=1e-3)  # arccos roundoff
+
+    def test_track_error_scale(self):
+        """1 degree of latitude ~ 111 km."""
+        a = self._storm_fields([20.0], [280.0])
+        b = self._storm_fields([20.0 + grid.dlat], [280.0])
+        ta = track_cyclone(a, grid, 20.0, 280.0)
+        tb = track_cyclone(b, grid, 20.0 + grid.dlat, 280.0)
+        err = track_error_km(ta, tb)
+        np.testing.assert_allclose(err[0], 111.0 * grid.dlat, rtol=0.05)
+
+
+class TestHeatwave:
+    def test_detects_sustained_anomaly(self):
+        clim = np.full(40, 290.0)
+        series = clim.copy()
+        series[10:20] += 6.0
+        assert heatwave_detected(series, clim)
+
+    def test_ignores_short_spike(self):
+        clim = np.full(40, 290.0)
+        series = clim.copy()
+        series[10:12] += 6.0  # only 2 steps < min_steps=4
+        assert not heatwave_detected(series, clim)
+
+    def test_ignores_weak_anomaly(self):
+        clim = np.full(40, 290.0)
+        series = clim + 1.0
+        assert not heatwave_detected(series, clim)
+
+    def test_hit_rate(self):
+        clim = np.full(40, 290.0)
+        hot = clim.copy()
+        hot[5:15] += 5.0
+        ens = np.stack([hot, hot, clim, clim])
+        assert heatwave_hit_rate(ens, clim) == 0.5
+
+    def test_point_series_extracts_location(self):
+        c = len(TOY_SET)
+        fields = np.zeros((3, 16, 32, c), dtype=np.float32)
+        i, j = grid.lat_index(51.5), grid.lon_index(0.0)  # London-ish
+        fields[:, i, j, TOY_SET.index("T2M")] = [280.0, 285.0, 290.0]
+        series = point_series(fields, grid, 51.5, 0.0)
+        np.testing.assert_array_equal(series, [280.0, 285.0, 290.0])

@@ -1,0 +1,70 @@
+"""Tests for the medium-range evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import persistence_forecast
+from repro.eval import EvalProtocol, MediumRangeEvaluator
+
+
+@pytest.fixture()
+def evaluator(tiny_archive):
+    return MediumRangeEvaluator(
+        tiny_archive,
+        EvalProtocol(lead_days=(1, 2), variables=("Z500", "T2M"),
+                     n_initial_conditions=3))
+
+
+class TestEvaluator:
+    def test_initial_conditions_in_test_split(self, tiny_archive, evaluator):
+        lo, hi = tiny_archive.splits["test"]
+        for ic in evaluator.ics:
+            assert lo <= ic < hi
+        assert len(set(evaluator.ics)) == 3
+
+    def test_persistence_scores(self, evaluator):
+        scores = evaluator.evaluate(
+            lambda s0, n, ic: persistence_forecast(s0, n)[None])
+        for key in scores.rmse:
+            assert scores.rmse[key] > 0
+            # Single member: CRPS == MAE <= RMSE; SSR undefined.
+            assert scores.crps[key] <= scores.rmse[key] + 1e-9
+            assert np.isnan(scores.ssr[key])
+
+    def test_error_grows_with_lead(self, evaluator):
+        scores = evaluator.evaluate(
+            lambda s0, n, ic: persistence_forecast(s0, n)[None])
+        assert scores.rmse[("Z500", 2)] > scores.rmse[("Z500", 1)]
+
+    def test_perfect_ensemble_scores_zero(self, tiny_archive, evaluator):
+        def oracle(state0, n_steps, ic):
+            return tiny_archive.fields[ic:ic + n_steps + 1][None]
+        scores = evaluator.evaluate(oracle)
+        for key in scores.rmse:
+            assert scores.rmse[key] == pytest.approx(0.0, abs=1e-5)
+
+    def test_multi_member_ssr_defined(self, tiny_archive, evaluator):
+        rng = np.random.default_rng(0)
+
+        def noisy(state0, n_steps, ic):
+            base = persistence_forecast(state0, n_steps)
+            return np.stack([base + rng.normal(0, 1.0, base.shape)
+                             .astype(np.float32) for _ in range(3)])
+
+        scores = evaluator.evaluate(noisy)
+        for key in scores.ssr:
+            assert np.isfinite(scores.ssr[key])
+
+    def test_evaluate_systems_and_table(self, evaluator):
+        systems = {
+            "Persistence": lambda s0, n, ic: persistence_forecast(s0, n)[None],
+        }
+        results = evaluator.evaluate_systems(systems)
+        table = evaluator.format_table(results)
+        assert "Persistence" in table
+        assert "Z500" in table and "T2M" in table
+
+    def test_short_test_split_rejected(self, tiny_archive):
+        with pytest.raises(ValueError):
+            MediumRangeEvaluator(tiny_archive,
+                                 EvalProtocol(lead_days=(90,)))

@@ -1,0 +1,165 @@
+"""Tests for deterministic and probabilistic verification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import LatLonGrid
+from repro.eval import (
+    acc,
+    bias,
+    crps_ensemble,
+    ensemble_mean_rmse,
+    mae,
+    rank_histogram,
+    rmse,
+    spread,
+    spread_skill_ratio,
+)
+
+grid = LatLonGrid(16, 32)
+rng = np.random.default_rng(0)
+
+
+class TestDeterministic:
+    def test_rmse_zero_for_perfect(self):
+        x = rng.normal(size=(16, 32))
+        assert rmse(x, x, grid) == 0.0
+
+    def test_rmse_constant_offset(self):
+        x = rng.normal(size=(16, 32))
+        np.testing.assert_allclose(rmse(x + 2.0, x, grid), 2.0, rtol=1e-6)
+
+    def test_rmse_weights_equator_more(self):
+        x = np.zeros((16, 32))
+        eq_err = x.copy()
+        eq_err[8, :] = 3.0
+        pole_err = x.copy()
+        pole_err[0, :] = 3.0
+        assert rmse(eq_err, x, grid) > rmse(pole_err, x, grid)
+
+    def test_rmse_leading_axes(self):
+        f = rng.normal(size=(5, 16, 32))
+        t = rng.normal(size=(5, 16, 32))
+        out = rmse(f, t, grid)
+        assert out.shape == (5,)
+        np.testing.assert_allclose(out[2], rmse(f[2], t[2], grid))
+
+    def test_mae_le_rmse(self):
+        f = rng.normal(size=(16, 32))
+        t = rng.normal(size=(16, 32))
+        assert mae(f, t, grid) <= rmse(f, t, grid) + 1e-12
+
+    def test_bias_sign(self):
+        t = rng.normal(size=(16, 32))
+        assert bias(t + 1.5, t, grid) == pytest.approx(1.5, rel=1e-6)
+        assert bias(t - 1.5, t, grid) == pytest.approx(-1.5, rel=1e-6)
+
+    def test_acc_perfect_and_anticorrelated(self):
+        clim = np.zeros((16, 32))
+        t = rng.normal(size=(16, 32))
+        assert acc(t, t, clim, grid) == pytest.approx(1.0)
+        assert acc(-t, t, clim, grid) == pytest.approx(-1.0)
+
+    def test_acc_climatology_forecast_is_zero(self):
+        clim = rng.normal(size=(16, 32))
+        t = clim + rng.normal(size=(16, 32))
+        assert abs(acc(clim, t, clim, grid)) < 1e-6
+
+
+class TestCrps:
+    def test_deterministic_reduces_to_mae(self):
+        """With one member, CRPS = |x − y|."""
+        y = rng.normal(size=(16, 32))
+        x = rng.normal(size=(1, 16, 32))
+        np.testing.assert_allclose(crps_ensemble(x, y),
+                                   np.abs(x[0] - y).mean(), rtol=1e-6)
+
+    def test_crps_analytic_gaussian(self):
+        """For a large Gaussian ensemble and truth at the mean, CRPS tends
+        to sigma (sqrt(1/pi) − ...): analytic value sigma*(1/sqrt(pi))*
+        (sqrt(2)−1) ≈ 0.2337 sigma."""
+        m = 4000
+        sigma = 2.0
+        ens = rng.normal(0.0, sigma, size=(m, 500))
+        truth = np.zeros(500)
+        expected = sigma * (np.sqrt(2) - 1) / np.sqrt(np.pi)
+        np.testing.assert_allclose(crps_ensemble(ens, truth), expected,
+                                   rtol=0.05)
+
+    def test_sharper_correct_ensemble_scores_better(self):
+        truth = np.zeros(2000)
+        tight = rng.normal(0, 0.5, size=(50, 2000))
+        wide = rng.normal(0, 2.0, size=(50, 2000))
+        assert crps_ensemble(tight, truth) < crps_ensemble(wide, truth)
+
+    def test_biased_ensemble_scores_worse(self):
+        truth = np.zeros(2000)
+        good = rng.normal(0, 1.0, size=(50, 2000))
+        biased = rng.normal(3.0, 1.0, size=(50, 2000))
+        assert crps_ensemble(good, truth) < crps_ensemble(biased, truth)
+
+    @given(st.floats(min_value=-3, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_crps_nonnegative(self, mu):
+        ens = rng.normal(mu, 1.0, size=(10, 50))
+        truth = np.zeros(50)
+        assert crps_ensemble(ens, truth) >= 0.0
+
+    def test_grid_weighted_variant(self):
+        ens = rng.normal(size=(8, 16, 32))
+        truth = rng.normal(size=(16, 32))
+        weighted = crps_ensemble(ens, truth, grid)
+        assert np.isscalar(weighted) or weighted.shape == ()
+        assert weighted > 0
+
+
+class TestSpreadSkill:
+    def test_calibrated_ensemble_ssr_near_one(self):
+        """Truth drawn from the same distribution as members -> SSR ~ 1."""
+        m, n = 20, 4000
+        ens = rng.normal(0, 1.0, size=(m, n))
+        truth = rng.normal(0, 1.0, size=n)
+        ssr = spread_skill_ratio(ens, truth)
+        assert 0.9 < ssr < 1.1
+
+    def test_underdispersive_ssr_below_one(self):
+        m, n = 20, 4000
+        ens = rng.normal(0, 0.3, size=(m, n))     # too tight
+        truth = rng.normal(0, 1.0, size=n)
+        assert spread_skill_ratio(ens, truth) < 0.6
+
+    def test_overdispersive_ssr_above_one(self):
+        m, n = 20, 4000
+        ens = rng.normal(0, 3.0, size=(m, n))
+        truth = rng.normal(0, 1.0, size=n)
+        assert spread_skill_ratio(ens, truth) > 1.3
+
+    def test_spread_matches_std(self):
+        ens = rng.normal(0, 2.0, size=(100, 10_000))
+        np.testing.assert_allclose(spread(ens), 2.0, rtol=0.02)
+
+    def test_ensemble_mean_rmse(self):
+        truth = rng.normal(size=(16, 32))
+        ens = np.stack([truth + 1.0, truth - 1.0])
+        assert ensemble_mean_rmse(ens, truth) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRankHistogram:
+    def test_calibrated_is_flat(self):
+        m = 9
+        ens = rng.normal(size=(m, 200_000))
+        truth = rng.normal(size=200_000)
+        hist = rank_histogram(ens, truth)
+        assert hist.shape == (m + 1,)
+        expected = 200_000 / (m + 1)
+        assert np.all(np.abs(hist - expected) < 0.05 * expected + 200)
+
+    def test_underdispersive_is_u_shaped(self):
+        m = 9
+        ens = rng.normal(0, 0.3, size=(m, 100_000))
+        truth = rng.normal(0, 1.0, size=100_000)
+        hist = rank_histogram(ens, truth)
+        interior = hist[2:-2].mean()
+        assert hist[0] > 2 * interior and hist[-1] > 2 * interior

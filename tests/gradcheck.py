@@ -1,0 +1,47 @@
+"""Numerical gradient checking shared by the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_grad(fn, arrays: list[np.ndarray], eps: float = 1e-4) -> list[np.ndarray]:
+    """Central-difference gradient of scalar-valued ``fn`` w.r.t. each array."""
+    grads = []
+    for target_idx, target in enumerate(arrays):
+        grad = np.zeros_like(target, dtype=np.float64)
+        flat = target.reshape(-1)
+        gflat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = fn([Tensor(a.astype(np.float64), dtype=np.float64) for a in arrays]).item()
+            flat[i] = original - eps
+            minus = fn([Tensor(a.astype(np.float64), dtype=np.float64) for a in arrays]).item()
+            flat[i] = original
+            gflat[i] = (plus - minus) / (2 * eps)
+        grads.append(grad)
+    return grads
+
+
+def check_gradients(fn, arrays: list[np.ndarray], rtol: float = 1e-4,
+                    atol: float = 1e-5, eps: float = 1e-4) -> None:
+    """Assert autodiff gradients of scalar ``fn`` match central differences.
+
+    ``fn`` receives a list of Tensors and must return a scalar Tensor.
+    Inputs are promoted to float64 so the finite-difference reference is
+    accurate.
+    """
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a, requires_grad=True, dtype=np.float64) for a in arrays]
+    out = fn(tensors)
+    assert out.size == 1, "gradient check requires scalar output"
+    out.backward()
+    numeric = numerical_grad(fn, arrays, eps=eps)
+    for i, (t, ref) in enumerate(zip(tensors, numeric)):
+        assert t.grad is not None, f"input {i} received no gradient"
+        np.testing.assert_allclose(
+            t.grad, ref, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for input {i}")

@@ -1,0 +1,169 @@
+"""Tests for the AERIS model: configs, parameter formula, forward pass,
+receptive field, and conditioning behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    SMALL,
+    TABLE_II,
+    TINY,
+    Aeris,
+    AerisConfig,
+    ParallelLayout,
+    axial_rope_table,
+    count_parameters,
+)
+from repro.model.config import NOMINAL_PARAMS
+from repro.tensor import Tensor, no_grad
+
+rng = np.random.default_rng(3)
+
+
+def tiny_inputs(config, batch=1, seed=0):
+    r = np.random.default_rng(seed)
+    x_t = Tensor(r.normal(size=(batch, config.height, config.width,
+                                config.channels)).astype(np.float32))
+    t = Tensor(np.full(batch, 0.7, dtype=np.float32))
+    cond = Tensor(r.normal(size=x_t.shape).astype(np.float32))
+    forc = Tensor(r.normal(size=(batch, config.height, config.width,
+                                 config.forcing_channels)).astype(np.float32))
+    return x_t, t, cond, forc
+
+
+class TestConfig:
+    def test_table_ii_nodes_match_paper(self):
+        # Nodes per instance = WP x PP (paper Section VII-A).
+        expected = {"1.3B": 48, "13B": 256, "40B": 720, "80B": 1664, "26B(L)": 504}
+        for name, nodes in expected.items():
+            assert TABLE_II[name].layout.nodes_per_instance == nodes
+
+    def test_pp_is_layers_plus_two(self):
+        for config in TABLE_II.values():
+            assert config.pp_stages == config.layout.pp
+            assert config.swin_layers == config.layout.pp - 2
+
+    def test_param_counts_near_nominal(self):
+        """Analytical counts land within 30% of the paper's nominal sizes
+        (block multiplicity is not published; see DESIGN.md)."""
+        for name, config in TABLE_II.items():
+            computed = count_parameters(config)
+            assert abs(computed - NOMINAL_PARAMS[name]) / NOMINAL_PARAMS[name] < 0.30, \
+                f"{name}: computed {computed/1e9:.1f}B"
+
+    def test_40b_and_80b_match_closely(self):
+        assert abs(count_parameters(TABLE_II["40B"]) - 40e9) / 40e9 < 0.05
+        assert abs(count_parameters(TABLE_II["80B"]) - 80e9) / 80e9 < 0.05
+
+    def test_sequence_length_era5(self):
+        assert TABLE_II["40B"].seq_len == 720 * 1440
+
+    def test_window_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            AerisConfig(name="bad", height=100, width=100, window=(60, 60))
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(wp=4, wp_grid=(2, 3), pp=4, sp=2, gas=1)
+
+
+class TestRope:
+    def test_table_shape(self):
+        cos, sin = axial_rope_table((4, 6), 8)
+        assert cos.shape == (24, 4) and sin.shape == (24, 4)
+        np.testing.assert_allclose(cos ** 2 + sin ** 2, 1.0, rtol=1e-5)
+
+    def test_axial_split(self):
+        """First half of pairs varies only with row, second only with col."""
+        cos, _ = axial_rope_table((3, 5), 8)
+        tokens = cos.reshape(3, 5, 4)
+        # Row-half (first 2 pair-channels) constant along columns:
+        assert np.allclose(tokens[:, :, :2], tokens[:, :1, :2])
+        # Col-half constant along rows:
+        assert np.allclose(tokens[:, :, 2:], tokens[:1, :, 2:])
+
+    def test_rejects_bad_head_dim(self):
+        with pytest.raises(ValueError):
+            axial_rope_table((4, 4), 6)
+
+
+class TestAerisForward:
+    def test_output_shape(self):
+        model = Aeris(TINY)
+        x_t, t, cond, forc = tiny_inputs(TINY, batch=2)
+        with no_grad():
+            out = model(x_t, t, cond, forc)
+        assert out.shape == (2, TINY.height, TINY.width, TINY.channels)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_param_formula_matches_live_model(self):
+        for config in (TINY, SMALL):
+            model = Aeris(config)
+            assert model.num_parameters() == count_parameters(config)
+
+    def test_depends_on_time(self):
+        model = Aeris(TINY)
+        # Perturb adaLN weights so t has an effect despite zero-init.
+        for name, p in model.named_parameters():
+            if "ada" in name and "weight" in name:
+                p.data = np.random.default_rng(1).normal(
+                    0, 0.05, p.data.shape).astype(np.float32)
+        x_t, _, cond, forc = tiny_inputs(TINY)
+        with no_grad():
+            out1 = model(x_t, Tensor(np.array([0.1], np.float32)), cond, forc)
+            out2 = model(x_t, Tensor(np.array([1.4], np.float32)), cond, forc)
+        assert np.abs(out1.numpy() - out2.numpy()).max() > 1e-5
+
+    def test_depends_on_condition(self):
+        model = Aeris(TINY)
+        x_t, t, cond, forc = tiny_inputs(TINY)
+        cond2 = Tensor(cond.numpy() + 1.0)
+        with no_grad():
+            out1 = model(x_t, t, cond, forc)
+            out2 = model(x_t, t, cond2, forc)
+        assert np.abs(out1.numpy() - out2.numpy()).max() > 1e-5
+
+    def test_adaln_zero_makes_blocks_near_identity_at_init(self):
+        """With adaLN-Zero, the Swin trunk is the identity at init: the
+        output is decode(norm(embed(x)))."""
+        model = Aeris(TINY)
+        x_t, t, cond, forc = tiny_inputs(TINY)
+        with no_grad():
+            h = model.embed_stage(x_t, cond, forc)
+            direct = model.decode_stage(h)
+            full = model(x_t, t, cond, forc)
+        np.testing.assert_allclose(full.numpy(), direct.numpy(), atol=1e-5)
+
+    def test_gradients_reach_all_parameters(self):
+        model = Aeris(TINY)
+        x_t, t, cond, forc = tiny_inputs(TINY)
+        loss = (model(x_t, t, cond, forc) ** 2).mean()
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_receptive_field_grows_with_shifts(self):
+        """With unshifted-only attention a distant pixel cannot influence the
+        output; with the alternating shifted blocks it can (within reach of
+        two layers)."""
+        config = TINY
+        model = Aeris(config, seed=0)
+        r = np.random.default_rng(2)
+        for name, p in model.named_parameters():
+            if "ada" in name and "weight" in name:
+                p.data = r.normal(0, 1.0, p.data.shape).astype(np.float32)
+        x_t, t, cond, forc = tiny_inputs(config)
+        with no_grad():
+            base = model(x_t, t, cond, forc).numpy()
+        # Perturb one pixel in a different window than the probe pixel.
+        x2 = x_t.numpy().copy()
+        x2[0, 0, 0, :] += 10.0
+        with no_grad():
+            out = model(Tensor(x2), t, cond, forc).numpy()
+        diff = np.abs(out - base)[0]
+        # Reached across window boundaries via the shift (probe two windows
+        # away) ...
+        assert diff[7, 9].max() > 1e-6
+        # ... but still local: the antipodal pixel is beyond the receptive
+        # field of 4 windowed blocks.
+        assert diff[15, 20].max() == 0.0

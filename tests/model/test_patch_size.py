@@ -1,0 +1,93 @@
+"""Tests for patch-size support — the paper's headline architectural choice
+is pixel-level 1x1 patches; larger patches trade sequence length (compute)
+for per-token detail."""
+
+import numpy as np
+import pytest
+
+from repro.model import Aeris, AerisConfig, count_parameters
+from repro.perf import forward_flops_per_sample
+from repro.tensor import Tensor, count_flops, no_grad
+
+
+def config_for(patch: int) -> AerisConfig:
+    return AerisConfig(
+        name=f"p{patch}", height=16, width=32, channels=9,
+        forcing_channels=3, dim=32, heads=4, ffn_dim=64, swin_layers=2,
+        blocks_per_layer=2, window=(4, 4), patch_size=patch, time_freqs=8)
+
+
+def inputs(cfg, batch=1, seed=0):
+    r = np.random.default_rng(seed)
+    x_t = Tensor(r.normal(size=(batch, cfg.height, cfg.width, cfg.channels)
+                          ).astype(np.float32))
+    t = Tensor(np.full(batch, 0.5, np.float32))
+    cond = Tensor(r.normal(size=x_t.shape).astype(np.float32))
+    forc = Tensor(r.normal(size=(batch, cfg.height, cfg.width,
+                                 cfg.forcing_channels)).astype(np.float32))
+    return x_t, t, cond, forc
+
+
+class TestPatchify:
+    @pytest.mark.parametrize("patch", [1, 2])
+    def test_output_shape_preserved(self, patch):
+        cfg = config_for(patch)
+        model = Aeris(cfg, seed=0)
+        x_t, t, cond, forc = inputs(cfg, batch=2)
+        with no_grad():
+            out = model(x_t, t, cond, forc)
+        assert out.shape == (2, cfg.height, cfg.width, cfg.channels)
+
+    def test_patchify_roundtrip(self):
+        cfg = config_for(2)
+        model = Aeris(cfg)
+        x = Tensor(np.random.default_rng(0).normal(
+            size=(1, 16, 32, 4)).astype(np.float32))
+        back = model._unpatchify(model._patchify(x))
+        np.testing.assert_array_equal(back.numpy(), x.numpy())
+
+    def test_patchify_groups_pixels(self):
+        cfg = config_for(2)
+        model = Aeris(cfg)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        patched = model._patchify(Tensor(x)).numpy()
+        # First token holds the top-left 2x2 patch.
+        np.testing.assert_array_equal(patched[0, 0, 0], [0, 1, 4, 5])
+
+    def test_sequence_length_quarters(self):
+        assert config_for(2).seq_len == config_for(1).seq_len // 4
+
+    def test_param_formula_matches_model(self):
+        for patch in (1, 2):
+            cfg = config_for(patch)
+            assert Aeris(cfg).num_parameters() == count_parameters(cfg)
+
+    def test_flops_drop_with_patch_size(self):
+        """Larger patches cut attention/FFN compute ~quadratically (the
+        cost of pixel-level modeling the paper pays for)."""
+        f1 = forward_flops_per_sample(config_for(1))
+        f2 = forward_flops_per_sample(config_for(2))
+        assert f2 < 0.4 * f1
+
+    def test_flops_model_matches_counter_with_patches(self):
+        cfg = config_for(2)
+        model = Aeris(cfg, seed=0)
+        x_t, t, cond, forc = inputs(cfg)
+        with count_flops() as fc:
+            with no_grad():
+                model(x_t, t, cond, forc)
+        assert fc.forward == forward_flops_per_sample(cfg)
+
+    def test_gradients_flow_with_patches(self):
+        cfg = config_for(2)
+        model = Aeris(cfg, seed=0)
+        x_t, t, cond, forc = inputs(cfg)
+        (model(x_t, t, cond, forc) ** 2).mean().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_invalid_patch_rejected(self):
+        with pytest.raises(ValueError):
+            AerisConfig(name="bad", height=15, width=32, channels=9,
+                        forcing_channels=3, dim=32, heads=4, ffn_dim=64,
+                        swin_layers=1, blocks_per_layer=1, window=(4, 4),
+                        patch_size=2, time_freqs=8)

@@ -1,0 +1,85 @@
+"""Hypothesis property tests for model components: RoPE relative phases,
+window/shift algebra, and Swin receptive-field structure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import axial_rope_table, cyclic_shift, window_partition
+from repro.nn import apply_rotary
+from repro.tensor import Tensor
+
+
+class TestRopeProperties:
+    @given(st.sampled_from([(2, 3), (4, 4), (3, 5)]),
+           st.sampled_from([4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_modulus(self, window, head_dim):
+        cos, sin = axial_rope_table(window, head_dim)
+        np.testing.assert_allclose(cos ** 2 + sin ** 2, 1.0, rtol=1e-5)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_rotary_preserves_inner_products_of_cotranslated_pairs(self, seed):
+        """RoPE encodes *relative* position: rotating q at token a and k at
+        token b gives a dot product that depends only on their coordinate
+        difference. Verified by comparing two token pairs with the same
+        offset along the row axis."""
+        rng = np.random.default_rng(seed)
+        window, head_dim = (6, 1), 8  # 1D case isolates the row axis
+        cos, sin = axial_rope_table(window, head_dim)
+        q = rng.normal(size=(1, head_dim)).astype(np.float32)
+        k = rng.normal(size=(1, head_dim)).astype(np.float32)
+
+        def rotated_dot(i, j):
+            qr = apply_rotary(Tensor(q), cos[i:i + 1], sin[i:i + 1]).numpy()
+            kr = apply_rotary(Tensor(k), cos[j:j + 1], sin[j:j + 1]).numpy()
+            return float((qr * kr).sum())
+
+        # Same offset (+2) at different absolute positions.
+        np.testing.assert_allclose(rotated_dot(0, 2), rotated_dot(3, 5),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_rotary_changes_with_offset(self):
+        rng = np.random.default_rng(1)
+        cos, sin = axial_rope_table((6, 1), 8)
+        q = rng.normal(size=(1, 8)).astype(np.float32)
+        k = rng.normal(size=(1, 8)).astype(np.float32)
+
+        def rotated_dot(i, j):
+            qr = apply_rotary(Tensor(q), cos[i:i + 1], sin[i:i + 1]).numpy()
+            kr = apply_rotary(Tensor(k), cos[j:j + 1], sin[j:j + 1]).numpy()
+            return float((qr * kr).sum())
+
+        assert abs(rotated_dot(0, 1) - rotated_dot(0, 4)) > 1e-5
+
+
+class TestWindowAlgebra:
+    @given(st.integers(0, 300), st.integers(-3, 3), st.integers(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_composition(self, seed, s1, s2):
+        """Two cyclic shifts compose into one."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(1, 6, 8, 2)).astype(np.float32))
+        double = cyclic_shift(cyclic_shift(x, (s1, s1)), (s2, s2))
+        combined = cyclic_shift(x, (s1 + s2, s1 + s2))
+        np.testing.assert_array_equal(double.numpy(), combined.numpy())
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_preserves_content(self, seed):
+        """Window partition is a permutation: multiset of values preserved."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 8, 8, 2)).astype(np.float32)
+        windows = window_partition(Tensor(x), (4, 4)).numpy()
+        np.testing.assert_allclose(np.sort(windows.ravel()),
+                                   np.sort(x.ravel()))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_shifted_partition_differs(self, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(1, 8, 8, 1)).astype(np.float32))
+        plain = window_partition(x, (4, 4)).numpy()
+        shifted = window_partition(cyclic_shift(x, (2, 2)), (4, 4)).numpy()
+        assert not np.array_equal(plain, shifted)

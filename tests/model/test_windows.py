@@ -1,0 +1,94 @@
+"""Tests for window partition/merge/shift — the data movements SWiPe shards."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    cyclic_shift,
+    window_grid_shape,
+    window_index_grid,
+    window_merge,
+    window_partition,
+)
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(11)
+
+
+class TestPartitionMerge:
+    def test_roundtrip(self):
+        x = rng.normal(size=(2, 8, 12, 5)).astype(np.float32)
+        windows = window_partition(Tensor(x), (4, 4))
+        assert windows.shape == (2, 6, 16, 5)
+        back = window_merge(windows, (8, 12), (4, 4))
+        np.testing.assert_array_equal(back.numpy(), x)
+
+    def test_window_contents_are_contiguous_patches(self):
+        h, w = 8, 8
+        x = np.arange(h * w, dtype=np.float32).reshape(1, h, w, 1)
+        windows = window_partition(Tensor(x), (4, 4)).numpy()[0, :, :, 0]
+        # Window 0 must be the top-left 4x4 patch in row-major order.
+        expected = x[0, :4, :4, 0].reshape(-1)
+        np.testing.assert_array_equal(windows[0], expected)
+        # Window 1 is the top-right patch.
+        expected = x[0, :4, 4:, 0].reshape(-1)
+        np.testing.assert_array_equal(windows[1], expected)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            window_grid_shape(10, 8, (4, 4))
+
+    def test_gradients_flow_through_roundtrip(self):
+        x = Tensor(rng.normal(size=(1, 4, 4, 2)).astype(np.float32),
+                   requires_grad=True)
+        windows = window_partition(x, (2, 2))
+        out = window_merge(windows * 2.0, (4, 4), (2, 2))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 2.0)
+
+    @given(st.sampled_from([(2, 2), (2, 4), (4, 2)]),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, window, mult):
+        h, w = window[0] * mult, window[1] * (mult + 1)
+        x = rng.normal(size=(1, h, w, 3)).astype(np.float32)
+        back = window_merge(window_partition(Tensor(x), window), (h, w), window)
+        np.testing.assert_array_equal(back.numpy(), x)
+
+
+class TestShift:
+    def test_shift_then_unshift_is_identity(self):
+        x = rng.normal(size=(1, 6, 8, 2)).astype(np.float32)
+        shifted = cyclic_shift(Tensor(x), (3, 4))
+        back = cyclic_shift(shifted, (3, 4), reverse=True)
+        np.testing.assert_array_equal(back.numpy(), x)
+
+    def test_shift_moves_pixels(self):
+        x = np.zeros((1, 4, 4, 1), dtype=np.float32)
+        x[0, 0, 0, 0] = 1.0
+        shifted = cyclic_shift(Tensor(x), (1, 1)).numpy()
+        assert shifted[0, 3, 3, 0] == 1.0  # rolled by (-1, -1)
+
+    def test_longitude_wraps(self):
+        x = np.zeros((1, 2, 4, 1), dtype=np.float32)
+        x[0, 0, 3, 0] = 1.0
+        shifted = cyclic_shift(Tensor(x), (0, 2)).numpy()
+        assert shifted[0, 0, 1, 0] == 1.0
+
+
+class TestIndexGrid:
+    def test_each_window_same_size(self):
+        grid = window_index_grid(8, 12, (4, 4))
+        ids, counts = np.unique(grid, return_counts=True)
+        assert len(ids) == 6
+        assert np.all(counts == 16)
+
+    def test_matches_partition_ordering(self):
+        h, w, window = 8, 8, (4, 4)
+        grid = window_index_grid(h, w, window)
+        x = grid.astype(np.float32).reshape(1, h, w, 1)
+        windows = window_partition(Tensor(x), window).numpy()[0, :, :, 0]
+        for wid in range(windows.shape[0]):
+            assert np.all(windows[wid] == wid)

@@ -1,0 +1,148 @@
+"""Tests for the analytical FLOPs model (validated against the live FLOP
+counter), machine specs, and memory model."""
+
+import numpy as np
+import pytest
+
+from repro.model import TABLE_II, Aeris
+from repro.parallel import RankTopology
+from repro.perf import (
+    AURORA,
+    CHECKPOINT_RECOMPUTE_OVERHEAD,
+    LUMI,
+    MemoryModel,
+    forward_flops_per_sample,
+    stage_forward_flops,
+    training_flops_per_sample,
+)
+from repro.tensor import Tensor, count_flops
+from tests.train.test_trainer import TINY16
+
+
+class TestMachines:
+    def test_aurora_table_i(self):
+        assert AURORA.tiles_per_node == 12
+        assert AURORA.network_bw_gbs == 200.0
+        assert AURORA.scaleup_bw_gbs == 28.0
+        assert AURORA.peak_tflops_tile_bf16 == pytest.approx(229.0)
+        assert AURORA.tile_memory_gb == pytest.approx(64.0)
+
+    def test_lumi_table_i(self):
+        assert LUMI.tiles_per_node == 8
+        assert LUMI.network_bw_gbs == 100.0
+        assert LUMI.peak_tflops_tile_bf16 == pytest.approx(191.5)
+
+    def test_table_iii_tf_per_tile_consistency(self):
+        """Paper cross-check: TF/T divided by MFU ~ tile peak."""
+        assert 84.4 / 0.384 == pytest.approx(AURORA.peak_tflops_tile_bf16,
+                                             rel=0.05)
+        assert 66.5 / 0.348 == pytest.approx(LUMI.peak_tflops_tile_bf16,
+                                             rel=0.05)
+
+
+class TestFlopsModel:
+    def test_matches_live_counter_forward(self):
+        """The analytical formula counts exactly the matmul FLOPs the
+        instrumented engine executes."""
+        model = Aeris(TINY16, seed=0)
+        cfg = TINY16
+        rng = np.random.default_rng(0)
+        x_t = Tensor(rng.normal(size=(1, cfg.height, cfg.width, cfg.channels)
+                                ).astype(np.float32))
+        t = Tensor(np.array([0.5], np.float32))
+        cond = Tensor(rng.normal(size=x_t.shape).astype(np.float32))
+        forc = Tensor(rng.normal(
+            size=(1, cfg.height, cfg.width, cfg.forcing_channels)
+        ).astype(np.float32))
+        with count_flops() as fc:
+            model(x_t, t, cond, forc)
+        assert fc.forward == forward_flops_per_sample(cfg)
+
+    def test_matches_live_counter_training(self):
+        model = Aeris(TINY16, seed=0)
+        cfg = TINY16
+        rng = np.random.default_rng(1)
+        batch = 2
+        x_t = Tensor(rng.normal(size=(batch, cfg.height, cfg.width,
+                                      cfg.channels)).astype(np.float32))
+        t = Tensor(rng.uniform(0.1, 1.4, batch).astype(np.float32))
+        cond = Tensor(rng.normal(size=x_t.shape).astype(np.float32))
+        forc = Tensor(rng.normal(
+            size=(batch, cfg.height, cfg.width, cfg.forcing_channels)
+        ).astype(np.float32))
+        with count_flops() as fc:
+            model(x_t, t, cond, forc).sum().backward()
+        measured = fc.total
+        analytic = training_flops_per_sample(cfg) * batch
+        # Backward-of-matmul bookkeeping is exact; allow tiny slack for the
+        # loss-reduction step (which has no matmuls).
+        assert measured == analytic
+
+    def test_stages_sum_to_total(self):
+        for cfg in (TINY16, TABLE_II["40B"]):
+            total = sum(stage_forward_flops(cfg, s)
+                        for s in range(cfg.pp_stages))
+            assert total == forward_flops_per_sample(cfg)
+
+    def test_paper_40b_magnitude(self):
+        """Sanity: 40B training FLOPs/sample x 50 samples/s ~ 10 EF (the
+        paper's full-scale sustained rate)."""
+        flops = training_flops_per_sample(TABLE_II["40B"])
+        ef_at_50 = flops * 50 / 1e18
+        assert 8.0 < ef_at_50 < 13.0
+
+    def test_interior_stages_uniform(self):
+        cfg = TABLE_II["13B"]
+        interior = {stage_forward_flops(cfg, s)
+                    for s in range(1, cfg.pp_stages - 1)}
+        assert len(interior) == 1  # one Swin layer each
+
+    def test_edge_stages_much_cheaper(self):
+        """The PP = L + 2 design: I/O+embed and decode stages are tiny
+        compared to interior stages (why isolating them shrinks the
+        bubble)."""
+        cfg = TABLE_II["40B"]
+        interior = stage_forward_flops(cfg, 1)
+        assert stage_forward_flops(cfg, 0) < 0.05 * interior
+        assert stage_forward_flops(cfg, cfg.pp_stages - 1) < 0.05 * interior
+
+
+class TestMemoryModel:
+    def _mem(self, wp_grid=(6, 6), dp=14):
+        cfg = TABLE_II["40B"]
+        topo = RankTopology(dp=dp, pp=cfg.layout.pp, wp_grid=wp_grid,
+                            sp=cfg.layout.sp)
+        return MemoryModel(cfg, topo)
+
+    def test_wp_divides_activation_memory(self):
+        """Paper claim: activation memory falls by the WP factor."""
+        base = MemoryModel(TABLE_II["40B"],
+                           RankTopology(dp=1, pp=20, wp_grid=(1, 1), sp=12))
+        wp36 = MemoryModel(TABLE_II["40B"],
+                           RankTopology(dp=1, pp=20, wp_grid=(6, 6), sp=12))
+        ratio = base.activation_bytes_per_rank(1) \
+            / wp36.activation_bytes_per_rank(1)
+        assert ratio == pytest.approx(36.0, rel=1e-6)
+
+    def test_zero1_divides_optimizer_state(self):
+        a = self._mem(dp=1)
+        b = self._mem(dp=14)
+        assert a.optimizer_state_bytes_per_rank() \
+            == pytest.approx(14 * b.optimizer_state_bytes_per_rank(), rel=0.01)
+
+    def test_40b_fits_aurora_with_wp(self):
+        """With WP=36 the 40B configuration fits a 64 GB tile without
+        activation checkpointing; without WP it does not."""
+        with_wp = self._mem(wp_grid=(6, 6))
+        without_wp = self._mem(wp_grid=(1, 1))
+        assert with_wp.fits(1, AURORA.tile_memory_gb, checkpointing=False)
+        assert not without_wp.fits(1, AURORA.tile_memory_gb,
+                                   checkpointing=False)
+
+    def test_checkpointing_reduces_activations(self):
+        mem = self._mem()
+        assert mem.activation_bytes_per_rank(1, checkpointing=True) \
+            < 0.2 * mem.activation_bytes_per_rank(1, checkpointing=False)
+
+    def test_checkpoint_overhead_constant(self):
+        assert CHECKPOINT_RECOMPUTE_OVERHEAD == pytest.approx(1 / 3)

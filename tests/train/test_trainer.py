@@ -1,0 +1,122 @@
+"""Training-loop tests: loss decreases, EMA/schedule wiring, forecaster
+export, checkpoint roundtrip, end-to-end forecast sanity."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import SolverConfig
+from repro.model import Aeris, AerisConfig, ParallelLayout
+from repro.nn import EMA, AdamW
+from repro.train import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
+
+TINY16 = AerisConfig(
+    name="tiny16", height=16, width=32, channels=9, forcing_channels=3,
+    dim=32, heads=4, ffn_dim=64, swin_layers=2, blocks_per_layer=2,
+    window=(4, 4), time_freqs=8,
+    layout=ParallelLayout(wp=4, wp_grid=(2, 2), pp=4, sp=2, gas=2))
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_archive_module):
+    model = Aeris(TINY16, seed=0)
+    trainer = Trainer(model, tiny_archive_module,
+                      TrainerConfig(batch_size=4, peak_lr=3e-3,
+                                    warmup_images=40, total_images=40_000,
+                                    decay_images=400, seed=0))
+    trainer.fit(120)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def tiny_archive_module(request):
+    return request.getfixturevalue("tiny_archive")
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        history = np.asarray(trained.history)
+        early = history[:20].mean()
+        late = history[-20:].mean()
+        assert late < 0.92 * early, f"no learning: {early:.3f} -> {late:.3f}"
+
+    def test_losses_finite(self, trained):
+        assert np.isfinite(trained.history).all()
+
+    def test_images_seen_tracks_batches(self, trained):
+        assert trained.images_seen == 120 * 4
+
+    def test_lr_follows_schedule(self, trained):
+        # After warmup the optimizer lr should sit at the peak.
+        assert trained.optimizer.lr == pytest.approx(3e-3)
+
+    def test_model_channel_mismatch_rejected(self, tiny_archive_module):
+        bad = AerisConfig(name="bad", height=16, width=32, channels=5,
+                          forcing_channels=3, dim=32, heads=4, ffn_dim=64,
+                          swin_layers=1, blocks_per_layer=1, window=(4, 4),
+                          time_freqs=8)
+        with pytest.raises(ValueError):
+            Trainer(Aeris(bad), tiny_archive_module)
+
+
+class TestForecasterExport:
+    def test_ema_weights_used(self, trained):
+        fc = trained.forecaster()
+        ema_weight = trained.ema.shadow["embed.weight"]
+        np.testing.assert_array_equal(fc.model.embed.weight.data, ema_weight)
+
+    def test_raw_weights_option(self, trained):
+        fc = trained.forecaster(use_ema=False)
+        np.testing.assert_array_equal(fc.model.embed.weight.data,
+                                      trained.model.embed.weight.data)
+
+    def test_forecast_step_produces_physical_state(self, trained,
+                                                   tiny_archive_module):
+        archive = tiny_archive_module
+        fc = trained.forecaster(SolverConfig(n_steps=4))
+        idx = archive.split_indices("test")[0]
+        state = archive.fields[idx]
+        nxt = fc.step(state, int(idx), np.random.default_rng(0))
+        assert nxt.shape == state.shape
+        assert np.isfinite(nxt).all()
+        # The one-step change should be comparable to true residual scale.
+        true_step = np.abs(archive.fields[idx + 1] - state).mean()
+        pred_step = np.abs(nxt - state).mean()
+        assert pred_step < 50 * (true_step + 1e-3)
+
+    def test_ensemble_members_differ(self, trained, tiny_archive_module):
+        archive = tiny_archive_module
+        fc = trained.forecaster(SolverConfig(n_steps=3))
+        idx = int(archive.split_indices("test")[0])
+        ens = fc.ensemble_rollout(archive.fields[idx], n_steps=2,
+                                  n_members=2, seed=1, start_index=idx)
+        assert ens.shape[:2] == (2, 3)
+        assert np.abs(ens[0, -1] - ens[1, -1]).max() > 1e-4
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, trained):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(path, trained.model, trained.optimizer, trained.ema,
+                        images_seen=trained.images_seen)
+        model2 = Aeris(TINY16, seed=99)
+        opt2 = AdamW(model2.parameters())
+        ema2 = EMA(model2)
+        images = load_checkpoint(path, model2, opt2, ema2)
+        assert images == trained.images_seen
+        for (n1, p1), (n2, p2) in zip(trained.model.named_parameters(),
+                                      model2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+        assert opt2.step_count == trained.optimizer.step_count
+        np.testing.assert_array_equal(opt2.exp_avg[0],
+                                      trained.optimizer.exp_avg[0])
+        np.testing.assert_array_equal(ema2.shadow["embed.weight"],
+                                      trained.ema.shadow["embed.weight"])
+
+    def test_model_only_checkpoint(self, tmp_path, trained):
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(path, trained.model)
+        model2 = Aeris(TINY16, seed=3)
+        load_checkpoint(path, model2)
+        np.testing.assert_array_equal(model2.decode.weight.data,
+                                      trained.model.decode.weight.data)
