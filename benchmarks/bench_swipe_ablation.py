@@ -152,7 +152,7 @@ def build_report(r) -> str:
 
 def test_swipe_ablation(benchmark):
     r = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
-    write_result("swipe_ablation.txt", build_report(r))
+    write_result("swipe_ablation.txt", build_report(r), data=r)
     # WP divides alltoall message and activation memory by WP.
     assert r["wp4"]["alltoall_MB"] == r["wp1"]["alltoall_MB"] / 4
     assert r["wp36"]["activation_GB"] < r["wp1"]["activation_GB"] / 35

@@ -4,14 +4,20 @@ The domain benchmarks (Figures 5–7) need trained forecasting systems; the
 three learned systems (AERIS diffusion, GenCast-like EDM, deterministic) are
 trained once per session on a shared bench archive and reused.  Result
 tables are written to ``benchmarks/results/`` in addition to stdout so the
-regenerated "figures" survive pytest's output capture.
+regenerated "figures" survive pytest's output capture.  Every table also
+gets a machine-readable ``<name>.json`` sidecar (pass structured values via
+``write_result(..., data=...)``); when :mod:`repro.obs` is enabled the
+sidecar additionally carries the metrics snapshot and span summary, so a
+bench run leaves a regressable telemetry artifact.
 """
 
+import json
 import os
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.baselines import DeterministicTrainer, EdmConfig, EdmTrainer
 from repro.data import ReanalysisConfig, SyntheticReanalysis
 from repro.model import Aeris, AerisConfig, ParallelLayout
@@ -34,11 +40,34 @@ TRAIN_CFG = TrainerConfig(batch_size=8, peak_lr=6e-3, warmup_images=160,
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
 
 
-def write_result(name: str, text: str) -> None:
+def _json_default(obj):
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def write_result(name: str, text: str, data=None) -> None:
+    """Write the text table plus a ``<stem>.json`` machine-readable report
+    (structured ``data`` if the bench provides it, and — when
+    :mod:`repro.obs` is enabled — the metrics snapshot + span summary)."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
     with open(path, "w") as fh:
         fh.write(text)
+    stem = os.path.splitext(name)[0]
+    payload = {"bench": stem, "text": text}
+    if data is not None:
+        payload["data"] = data
+    registry = obs.metrics()
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    tracer = obs.get_tracer()
+    if tracer is not None:
+        payload["span_summary"] = tracer.summary()
+    with open(os.path.join(RESULTS_DIR, stem + ".json"), "w") as fh:
+        json.dump(payload, fh, indent=2, default=_json_default)
     print(text)
 
 

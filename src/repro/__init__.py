@@ -16,6 +16,9 @@ A from-scratch, pure-NumPy reproduction of the complete AERIS system:
   parallelism, ZeRO-1) on a metered simulated cluster;
 * :mod:`repro.perf` — the analytical performance model behind the paper's
   ExaFLOPS and scaling results;
+* :mod:`repro.obs` — tracing / metrics / profiling (off by default;
+  exports Chrome traces and cross-checks observations against
+  :mod:`repro.perf`);
 * :mod:`repro.train` / :mod:`repro.baselines` / :mod:`repro.eval` —
   training, comparison systems, and verification metrics.
 
@@ -27,8 +30,8 @@ Quickstart::
     forecaster = trainer.forecaster()
 """
 
-from . import baselines, data, diffusion, eval, model, nn, parallel, perf
-from . import tensor, train
+from . import baselines, data, diffusion, eval, model, nn, obs, parallel
+from . import perf, tensor, train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -38,7 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "tensor", "nn", "model", "diffusion", "data", "parallel", "perf",
-    "train", "baselines", "eval",
+    "train", "baselines", "eval", "obs",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
     "SyntheticReanalysis", "ReanalysisConfig",

@@ -14,6 +14,8 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
 from ..tensor import Tensor, no_grad
 from .solver import DpmSolver2S, SolverConfig
 from .trigflow import TrigFlow
@@ -74,22 +76,30 @@ class ResidualForecaster:
 
         ``state`` is physical ``(H, W, C)``; returns the next physical state.
         """
-        cond = self.state_norm.normalize(state)
-        forcings = self.forcing_fn(time_index)
-        if self.forcing_norm is not None:
-            forcings = self.forcing_norm.normalize(forcings)
-        solver = DpmSolver2S(self.flow, self.solver_config)
-        residual_std = solver.sample(self._velocity_fn(cond, forcings),
-                                     state.shape, rng)
-        return state + self.residual_norm.denormalize(residual_std)
+        with _span("sampler.step", category="diffusion",
+                   time_index=time_index):
+            cond = self.state_norm.normalize(state)
+            forcings = self.forcing_fn(time_index)
+            if self.forcing_norm is not None:
+                forcings = self.forcing_norm.normalize(forcings)
+            solver = DpmSolver2S(self.flow, self.solver_config)
+            residual_std = solver.sample(self._velocity_fn(cond, forcings),
+                                         state.shape, rng)
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.counter("sampler.data_steps",
+                                 "autoregressive data steps sampled").inc()
+            return state + self.residual_norm.denormalize(residual_std)
 
     def rollout(self, state0: np.ndarray, n_steps: int,
                 rng: np.random.Generator, start_index: int = 0) -> np.ndarray:
         """Autoregressive forecast: ``(n_steps + 1, H, W, C)`` incl. IC."""
         states = np.empty((n_steps + 1,) + state0.shape, dtype=np.float32)
         states[0] = state0
-        for i in range(n_steps):
-            states[i + 1] = self.step(states[i], start_index + i, rng)
+        with _span("sampler.rollout", category="diffusion", n_steps=n_steps,
+                   start_index=start_index):
+            for i in range(n_steps):
+                states[i + 1] = self.step(states[i], start_index + i, rng)
         return states
 
     def perturbed_initial_condition(self, state0: np.ndarray,

@@ -21,6 +21,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
 from .trigflow import TrigFlow
 
 __all__ = ["SolverConfig", "DpmSolver2S"]
@@ -73,16 +75,23 @@ class DpmSolver2S:
         ``t = pi/2`` to ``t_end`` and denoise the final state."""
         x = rng.normal(0.0, self.flow.sigma_d, size=shape).astype(np.float32)
         ts = self.schedule()
+        registry = _obs_metrics()
         for i in range(len(ts) - 1):
             t, t_next = float(ts[i]), float(ts[i + 1])
-            if self.config.churn > 0 and i > 0:
-                delta = self.config.churn * (t - t_next)
-                x, t = self.churn_state(x, t, delta, rng)
-            x = self._step(velocity_fn, x, t, t_next)
+            with _span("solver.step", category="diffusion", i=i, t=t,
+                       t_next=t_next):
+                if self.config.churn > 0 and i > 0:
+                    delta = self.config.churn * (t - t_next)
+                    x, t = self.churn_state(x, t, delta, rng)
+                x = self._step(velocity_fn, x, t, t_next)
+            if registry is not None:
+                registry.counter("solver.steps",
+                                 "2S solver steps taken").inc()
         # Final denoise: read x0 off the velocity at the last time.
         t_last = float(ts[-1])
-        v = velocity_fn(x, t_last)
-        return self.flow.denoise_from_velocity(x, v, np.asarray(t_last))
+        with _span("solver.denoise", category="diffusion", t=t_last):
+            v = velocity_fn(x, t_last)
+            return self.flow.denoise_from_velocity(x, v, np.asarray(t_last))
 
     def _step(self, velocity_fn: VelocityFn, x: np.ndarray, t: float,
               t_next: float) -> np.ndarray:

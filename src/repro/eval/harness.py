@@ -15,11 +15,29 @@ from typing import Callable
 import numpy as np
 
 from ..data import SyntheticReanalysis, TOY_SET
+from ..obs.profile import get_tracer, metrics as _obs_metrics
+from ..obs.profile import span as _span
 from .probabilistic import crps_ensemble, ensemble_mean_rmse, spread_skill_ratio
 
 __all__ = ["EvalProtocol", "Scores", "MediumRangeEvaluator"]
 
 RolloutFn = Callable[[np.ndarray, int, int], np.ndarray]
+
+
+def _timed_metric(metric: str, fn, *args) -> float:
+    """Compute one score; while observability is on, time it as an
+    ``eval.metric`` span and feed an ``eval.metric_seconds`` histogram."""
+    tracer = get_tracer()
+    if tracer is None:
+        return float(fn(*args))
+    with tracer.span("eval.metric", category="eval", metric=metric):
+        value = float(fn(*args))
+    registry = _obs_metrics()
+    if registry is not None:
+        registry.histogram("eval.metric_seconds",
+                           "per-metric scoring time").observe(
+            tracer.spans[-1].duration, metric=metric)
+    return value
 
 
 @dataclass(frozen=True)
@@ -81,7 +99,9 @@ class MediumRangeEvaluator:
         grid = self.archive.grid
         per_ic: dict[tuple[str, int], list[tuple[float, float, float]]] = {}
         for ic in self.ics:
-            ens = rollout_fn(self.archive.fields[ic], p.n_steps, ic)
+            with _span("eval.rollout", category="eval", ic=ic,
+                       n_steps=p.n_steps):
+                ens = rollout_fn(self.archive.fields[ic], p.n_steps, ic)
             truth = self.archive.fields[ic:ic + p.n_steps + 1]
             for var in p.variables:
                 c = TOY_SET.index(var)
@@ -90,9 +110,10 @@ class MediumRangeEvaluator:
                     e = ens[:, k, ..., c]
                     t = truth[k, ..., c]
                     entry = (
-                        float(ensemble_mean_rmse(e, t, grid)),
-                        float(crps_ensemble(e, t, grid)),
-                        float(spread_skill_ratio(e, t, grid))
+                        _timed_metric("rmse", ensemble_mean_rmse, e, t,
+                                      grid),
+                        _timed_metric("crps", crps_ensemble, e, t, grid),
+                        _timed_metric("ssr", spread_skill_ratio, e, t, grid)
                         if ens.shape[0] > 1 else float("nan"))
                     per_ic.setdefault((var, lead), []).append(entry)
         scores = Scores()
@@ -106,7 +127,11 @@ class MediumRangeEvaluator:
 
     def evaluate_systems(self, systems: dict[str, RolloutFn]
                          ) -> dict[str, Scores]:
-        return {name: self.evaluate(fn) for name, fn in systems.items()}
+        out = {}
+        for name, fn in systems.items():
+            with _span("eval.system", category="eval", system=name):
+                out[name] = self.evaluate(fn)
+        return out
 
     def format_table(self, results: dict[str, Scores]) -> str:
         lines = []

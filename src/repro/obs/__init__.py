@@ -1,0 +1,41 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+The measurement substrate behind the reproduction's performance claims
+(the paper's "timers; performance modeling" methodology, Section VI-D):
+
+* :mod:`~repro.obs.metrics` — labeled counters / gauges / histograms in a
+  registry with mergeable JSON snapshots;
+* :mod:`~repro.obs.trace` — nested timed spans exported as Chrome
+  ``trace_event`` JSON (open in ``chrome://tracing`` / Perfetto) or a
+  plain-text summary table;
+* :mod:`~repro.obs.profile` — global on/off switch plus the zero-cost
+  hooks instrumented code calls (``Scope`` / ``span`` / ``@profiled``);
+* :mod:`~repro.obs.report` — :class:`TraceReport`, cross-checking
+  observed span totals and byte counters against the :mod:`repro.perf`
+  analytical predictions.
+
+Everything is **off by default** and strictly free when off::
+
+    from repro import obs
+    with obs.observed() as (tracer, registry):
+        trainer.fit(10)
+    print(tracer.summary_table())
+    print(registry.as_table())
+    tracer.write_chrome("trace.json")
+"""
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      merge_snapshots)
+from .profile import (Scope, disable, enable, get_tracer, is_enabled,
+                      metrics, observed, profiled, span)
+from .report import TraceReport
+from .trace import Span, StepClock, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots",
+    "Span", "StepClock", "Tracer",
+    "Scope", "span", "profiled",
+    "enable", "disable", "is_enabled", "observed",
+    "get_tracer", "metrics",
+    "TraceReport",
+]

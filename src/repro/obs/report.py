@@ -1,0 +1,181 @@
+"""Observed-vs-predicted cross checks: ``TraceReport``.
+
+The paper's performance numbers come from two places that must agree —
+timers (what actually ran) and the analytical model (what Section VI-D
+predicts).  :class:`TraceReport` closes that loop for the reproduction:
+
+* **pipeline** — the per-rank 1F1B stage spans the pipeline engine lays
+  onto the trace are re-measured geometrically (busy time vs. makespan)
+  and compared against :func:`repro.perf.pipeline_model.bubble_fraction`
+  and a :func:`~repro.perf.pipeline_model.simulate_timeline` replay at the
+  measured stage costs;
+* **communication** — the per-(primitive, locality) byte counters the
+  metrics registry accumulated are compared against the cluster's
+  :class:`~repro.parallel.comm.CommStats` (they meter the same collectives
+  and must agree exactly) and, optionally, against analytical per-
+  primitive predictions (``M = b·s·h/SP/WP``-style formulas).
+
+Every check appends a structured result, so one report renders both as a
+human-readable text block and as machine-readable JSON for benchmark
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MetricsRegistry
+from .profile import get_tracer, metrics
+from .trace import Tracer
+
+__all__ = ["TraceReport"]
+
+
+class TraceReport:
+    """Aggregates cross-checks over one traced run."""
+
+    def __init__(self, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None):
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.registry = registry if registry is not None else metrics()
+        if self.tracer is None:
+            raise ValueError("no tracer: pass one or obs.enable() first")
+        self.checks: list[dict] = []
+
+    # -- pipeline bubble ---------------------------------------------------
+    def pipeline_check(self, pp: int, n_micro: int, schedule: str = "1f1b",
+                       category: str = "pp-1f1b",
+                       track_prefix: str | None = None,
+                       tol_simulated: float = 0.02,
+                       tol_closed_form: float = 0.2) -> dict:
+        """Observed bubble fraction (from the trace geometry) vs. the perf
+        model's closed form and a timeline replay at measured stage costs.
+
+        The closed form assumes uniform stages with ``t_bwd = 2 t_fwd``;
+        real stages are not uniform (I/O stages are thinner than Swin
+        stages), hence the looser ``tol_closed_form``.
+        """
+        from ..perf.pipeline_model import (bubble_fraction, schedule_1f1b,
+                                           schedule_gpipe, simulate_timeline)
+        spans = self.tracer.select(category=category,
+                                   track_prefix=track_prefix)
+        if not spans:
+            where = f"category {category!r}"
+            if track_prefix is not None:
+                where += f" on tracks starting with {track_prefix!r}"
+            raise ValueError(f"no spans with {where}")
+        tracks: dict[str, list] = {}
+        for s in spans:
+            tracks.setdefault(s.track, []).append(s)
+        n_tracks = len(tracks)
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+        makespan = t1 - t0
+        busy = sum(s.duration for s in spans)
+        observed = 1.0 - busy / (n_tracks * makespan)
+
+        predicted_closed = bubble_fraction(pp, n_micro, schedule)
+        fwd = [s.duration for s in spans if s.attrs.get("phase") == "F"]
+        bwd = [s.duration for s in spans if s.attrs.get("phase") == "B"]
+        predicted_sim = None
+        if fwd and bwd:
+            maker = schedule_gpipe if schedule == "gpipe" else schedule_1f1b
+            predicted_sim = simulate_timeline(
+                maker(pp, n_micro), t_fwd=sum(fwd) / len(fwd),
+                t_bwd=sum(bwd) / len(bwd))["bubble"]
+        result = {
+            "check": "pipeline_bubble",
+            "pp": pp, "n_micro": n_micro, "schedule": schedule,
+            "n_tracks": n_tracks, "n_spans": len(spans),
+            "makespan_s": makespan,
+            "observed_bubble": observed,
+            "predicted_bubble_closed_form": predicted_closed,
+            "predicted_bubble_simulated": predicted_sim,
+            "abs_error_closed_form": abs(observed - predicted_closed),
+            "abs_error_simulated": (abs(observed - predicted_sim)
+                                    if predicted_sim is not None else None),
+            "agrees": (abs(observed - predicted_closed) <= tol_closed_form
+                       and (predicted_sim is None
+                            or abs(observed - predicted_sim)
+                            <= tol_simulated)),
+        }
+        self.checks.append(result)
+        return result
+
+    # -- communication volumes ---------------------------------------------
+    def comm_check(self, stats, predicted: dict[str, float] | None = None,
+                   rel_tol: float = 0.05) -> dict:
+        """Registry byte counters vs. ``CommStats``; optionally vs. an
+        analytical prediction ``{primitive: bytes}`` (e.g. from
+        :class:`repro.perf.comm_model.CommModel` or
+        ``SwipeEngine.attention_alltoall_bytes``).
+        """
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        counter = self.registry.counter("comm.bytes")
+        per_key = {}
+        agrees = True
+        for (primitive, locality), expected in sorted(stats.bytes.items()):
+            observed = counter.value(primitive=primitive, locality=locality)
+            match = observed == expected
+            agrees = agrees and match
+            per_key[f"{primitive}/{locality}"] = {
+                "registry_bytes": observed, "commstats_bytes": expected,
+                "match": match}
+        analytical = None
+        if predicted is not None:
+            analytical = {}
+            for primitive, expected in sorted(predicted.items()):
+                observed = stats.total_bytes(primitive)
+                err = (abs(observed - expected) / expected
+                       if expected else float(observed != 0))
+                within = err <= rel_tol
+                agrees = agrees and within
+                analytical[primitive] = {
+                    "observed_bytes": observed,
+                    "predicted_bytes": expected,
+                    "rel_error": err, "within_tolerance": within}
+        result = {"check": "comm_bytes",
+                  "registry_vs_commstats": per_key,
+                  "analytical": analytical, "agrees": agrees}
+        self.checks.append(result)
+        return result
+
+    # -- rendering ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {"checks": self.checks,
+               "span_summary": self.tracer.summary()}
+        if self.registry is not None:
+            out["metrics"] = self.registry.snapshot()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        lines = ["TraceReport"]
+        for c in self.checks:
+            if c["check"] == "pipeline_bubble":
+                sim = c["predicted_bubble_simulated"]
+                lines.append(
+                    f"  pipeline bubble (PP={c['pp']}, M={c['n_micro']}, "
+                    f"{c['schedule']}): observed {c['observed_bubble']:.4f}"
+                    f" | closed-form {c['predicted_bubble_closed_form']:.4f}"
+                    + (f" | simulated {sim:.4f}" if sim is not None else "")
+                    + f" | {'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "comm_bytes":
+                n = len(c["registry_vs_commstats"])
+                lines.append(f"  comm bytes: {n} (primitive, locality) "
+                             f"series vs CommStats | "
+                             f"{'OK' if c['agrees'] else 'MISMATCH'}")
+                if c["analytical"]:
+                    for prim, a in c["analytical"].items():
+                        lines.append(
+                            f"    {prim}: observed {a['observed_bytes']:,} B"
+                            f" vs predicted {int(a['predicted_bytes']):,} B"
+                            f" (rel err {a['rel_error']:.3f})")
+        lines.append("  spans:")
+        lines.extend("    " + line
+                     for line in self.tracer.summary_table().splitlines())
+        return "\n".join(lines)

@@ -11,6 +11,13 @@ buffers inside one process, and meters every byte, classified by
 These counters are what the communication-model tests compare against the
 paper's analytical message sizes (``M = b·s·h / SP / WP``), and what the
 ablation bench reports.
+
+When :mod:`repro.obs` is enabled, every ``CommStats.add`` also increments
+the global metrics registry (``comm.bytes`` / ``comm.ops`` counters,
+labeled by primitive and locality) and every collective runs inside a
+tracer span — so the cluster's byte accounting and the observability
+layer meter the *same* events and :class:`repro.obs.TraceReport` can
+cross-check them exactly.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
 
 __all__ = ["CommStats", "SimCluster"]
 
@@ -33,12 +43,46 @@ class CommStats:
     def add(self, primitive: str, locality: str, nbytes: int) -> None:
         self.bytes[(primitive, locality)] += int(nbytes)
         self.ops[(primitive, locality)] += 1
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("comm.bytes",
+                             "bytes moved by simulated collectives").inc(
+                int(nbytes), primitive=primitive, locality=locality)
+            registry.counter("comm.ops",
+                             "simulated collective operations").inc(
+                1, primitive=primitive, locality=locality)
 
     def total_bytes(self, primitive: str | None = None,
                     locality: str | None = None) -> int:
         return sum(v for (p, l), v in self.bytes.items()
                    if (primitive is None or p == primitive)
                    and (locality is None or l == locality))
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Accumulate ``other``'s counters into this one (in place) —
+        aggregating per-cluster meters, mirroring
+        :meth:`repro.obs.MetricsRegistry.merge`."""
+        for key, v in other.bytes.items():
+            self.bytes[key] += v
+        for key, v in other.ops.items():
+            self.ops[key] += v
+        return self
+
+    def as_table(self) -> str:
+        """Plain-text table: one row per (primitive, locality) plus a
+        total row."""
+        rows = [("primitive", "locality", "ops", "bytes")]
+        for (primitive, locality) in sorted(self.bytes):
+            rows.append((primitive, locality,
+                         str(self.ops[(primitive, locality)]),
+                         f"{self.bytes[(primitive, locality)]:,}"))
+        rows.append(("total", "-", str(sum(self.ops.values())),
+                     f"{self.total_bytes():,}"))
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        lines = ["  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip()
+                 for r in rows]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
 
     def reset(self) -> None:
         self.bytes.clear()
@@ -69,7 +113,9 @@ class SimCluster:
     def send(self, src: int, dst: int, array: np.ndarray) -> np.ndarray:
         """P2P transfer (PP activations / window-shift fragments)."""
         if src != dst:
-            self.stats.add("p2p", self._locality(src, dst), array.nbytes)
+            with _span("comm.p2p", category="comm", src=src, dst=dst,
+                       nbytes=array.nbytes):
+                self.stats.add("p2p", self._locality(src, dst), array.nbytes)
         return array.copy()
 
     # -- collectives ------------------------------------------------------------
@@ -82,17 +128,24 @@ class SimCluster:
         n = len(group)
         if len(chunks) != n or any(len(row) != n for row in chunks):
             raise ValueError("chunks must be an n x n matrix of arrays")
-        for i in range(n):
-            for j in range(n):
-                if i != j:
-                    self.stats.add("alltoall",
-                                   self._locality(group[i], group[j]),
-                                   chunks[i][j].nbytes)
+        with _span("comm.alltoall", category="comm", group=n):
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        self.stats.add("alltoall",
+                                       self._locality(group[i], group[j]),
+                                       chunks[i][j].nbytes)
         return [[chunks[i][j].copy() for i in range(n)] for j in range(n)]
 
     def allreduce(self, group: list[int], arrays: list[np.ndarray]
                   ) -> list[np.ndarray]:
-        """Sum-allreduce. Ring cost: each rank moves 2(n−1)/n of the data."""
+        """Sum-allreduce. Ring cost: each rank moves 2(n−1)/n of the data.
+
+        Bytes are attributed *per ring hop* — link ``group[i] →
+        group[(i+1) % n]`` carries ``2(n−1)/n`` of the payload — so a group
+        spanning nodes meters its intra- and inter-node traffic separately
+        instead of booking the whole ring at one locality.
+        """
         n = len(group)
         if len(arrays) != n:
             raise ValueError("one array per group rank required")
@@ -102,21 +155,26 @@ class SimCluster:
         result = total.astype(arrays[0].dtype)
         nbytes = arrays[0].nbytes
         if n > 1:
-            ring = int(2 * (n - 1) / n * nbytes) * n  # summed over ranks
-            locality = ("intra" if all(self.node_of(r) == self.node_of(group[0])
-                                       for r in group) else "inter")
-            self.stats.add("allreduce", locality, ring)
+            per_hop = int(2 * (n - 1) / n * nbytes)
+            with _span("comm.allreduce", category="comm", group=n,
+                       nbytes=per_hop * n):
+                for i in range(n):
+                    self.stats.add(
+                        "allreduce",
+                        self._locality(group[i], group[(i + 1) % n]),
+                        per_hop)
         return [result.copy() for _ in range(n)]
 
     def allgather(self, group: list[int], arrays: list[np.ndarray]
                   ) -> list[list[np.ndarray]]:
         n = len(group)
-        for i in range(n):
-            for j in range(n):
-                if i != j:
-                    self.stats.add("allgather",
-                                   self._locality(group[i], group[j]),
-                                   arrays[i].nbytes)
+        with _span("comm.allgather", category="comm", group=n):
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        self.stats.add("allgather",
+                                       self._locality(group[i], group[j]),
+                                       arrays[i].nbytes)
         return [[a.copy() for a in arrays] for _ in range(n)]
 
     def reduce_scatter(self, group: list[int], chunks: list[list[np.ndarray]]
@@ -125,23 +183,26 @@ class SimCluster:
         the sum over i."""
         n = len(group)
         out = []
-        for j in range(n):
-            total = chunks[0][j].astype(np.float64)
-            for i in range(1, n):
-                total = total + chunks[i][j]
-            out.append(total.astype(chunks[0][j].dtype))
-            for i in range(n):
-                if i != j:
-                    self.stats.add("reduce_scatter",
-                                   self._locality(group[i], group[j]),
-                                   chunks[i][j].nbytes)
+        with _span("comm.reduce_scatter", category="comm", group=n):
+            for j in range(n):
+                total = chunks[0][j].astype(np.float64)
+                for i in range(1, n):
+                    total = total + chunks[i][j]
+                out.append(total.astype(chunks[0][j].dtype))
+                for i in range(n):
+                    if i != j:
+                        self.stats.add("reduce_scatter",
+                                       self._locality(group[i], group[j]),
+                                       chunks[i][j].nbytes)
         return out
 
     def broadcast(self, group: list[int], root_index: int,
                   array: np.ndarray) -> list[np.ndarray]:
-        for j, rank in enumerate(group):
-            if j != root_index:
-                self.stats.add("broadcast",
-                               self._locality(group[root_index], rank),
-                               array.nbytes)
+        with _span("comm.broadcast", category="comm", group=len(group),
+                   nbytes=array.nbytes * (len(group) - 1)):
+            for j, rank in enumerate(group):
+                if j != root_index:
+                    self.stats.add("broadcast",
+                                   self._locality(group[root_index], rank),
+                                   array.nbytes)
         return [array.copy() for _ in group]

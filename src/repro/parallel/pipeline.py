@@ -15,6 +15,15 @@ bit-for-bit.
 Execution order inside one process is sequential; the 1F1B/GPipe *timing*
 (bubble fraction) is modeled in :mod:`repro.perf.pipeline_model`, which is
 also where the schedules live.
+
+Tracing (:mod:`repro.obs`): when enabled, every stage pass is timed as an
+execution span, and after each ``forward_backward`` the measured mean
+stage costs are replayed through
+:func:`repro.perf.pipeline_model.simulate_timeline` onto **per-rank
+1F1B tracks** (category ``pp-1f1b``) — the exported Chrome trace then
+shows the warmup/steady-state/cooldown staircase and the bubble the perf
+model predicts, even though the simulation executes sequentially.  With
+tracing disabled none of this runs (no clock reads, no span objects).
 """
 
 from __future__ import annotations
@@ -22,10 +31,60 @@ from __future__ import annotations
 import numpy as np
 
 from ..model import Aeris
+from ..obs.profile import get_tracer, metrics as _obs_metrics
 from ..tensor import Tensor
 from .comm import SimCluster
 
 __all__ = ["AerisPipeline"]
+
+
+class _NullTimer:
+    """Disabled fast path: ``timer(phase, stage)`` is a no-op context."""
+
+    __slots__ = ()
+
+    def __call__(self, phase: str, stage: int) -> "_NullTimer":
+        return self
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NO_TIMER = _NullTimer()
+
+
+class _StageTimer:
+    """Times one (phase, stage) pass per use; also emits execution spans."""
+
+    __slots__ = ("tracer", "name", "micro", "durations", "_phase", "_stage",
+                 "_start")
+
+    def __init__(self, tracer, name: str):
+        self.tracer = tracer
+        self.name = name
+        self.micro = 0
+        self.durations: dict[str, list[float]] = {"F": [], "B": []}
+
+    def __call__(self, phase: str, stage: int) -> "_StageTimer":
+        self._phase = phase
+        self._stage = stage
+        return self
+
+    def __enter__(self) -> "_StageTimer":
+        self._start = self.tracer.clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = self.tracer.clock()
+        self.durations[self._phase].append(end - self._start)
+        self.tracer.add_span(
+            f"{self._phase} s{self._stage} m{self.micro}", self._start, end,
+            track=f"{self.name}/exec", category="pp-exec",
+            phase=self._phase, stage=self._stage, micro=self.micro)
+        return None
 
 
 class AerisPipeline:
@@ -39,14 +98,19 @@ class AerisPipeline:
     cluster / pp_group:
         Optional metering: activation handoffs are charged as p2p bytes
         between consecutive ``pp_group`` ranks.
+    name:
+        Trace track prefix (``dp0``, ``dp1``, ... inside a SWiPe engine) so
+        per-replica timelines stay distinguishable.
     """
 
     def __init__(self, model: Aeris, cluster: SimCluster | None = None,
-                 pp_group: list[int] | None = None):
+                 pp_group: list[int] | None = None, name: str = "pp"):
         self.model = model
         self.cluster = cluster
         self.pp_group = pp_group
+        self.name = name
         self.n_stages = model.config.swin_layers + 2
+        self._virtual_clock = None  # end of the last replayed 1F1B timeline
 
     def _meter(self, stage: int, nbytes: int) -> None:
         if self.cluster is None or self.pp_group is None:
@@ -71,56 +135,101 @@ class AerisPipeline:
         if batch % n_micro:
             raise ValueError(f"batch {batch} not divisible into {n_micro} "
                              "microbatches")
+        tracer = get_tracer()
+        timer = _StageTimer(tracer, self.name) if tracer is not None \
+            else _NO_TIMER
         mb = batch // n_micro
         total_loss = 0.0
         for m in range(n_micro):
+            if tracer is not None:
+                timer.micro = m
             sl = slice(m * mb, (m + 1) * mb)
             total_loss += self._one_microbatch(
                 x_t[sl], t[sl], cond[sl], forc[sl],
-                lambda pred: loss_fn(pred, sl))
+                lambda pred: loss_fn(pred, sl), timer)
+        if tracer is not None:
+            self._replay_1f1b(tracer, timer, n_micro)
         return total_loss
 
+    # -- 1F1B timeline replay ----------------------------------------------
+    def _replay_1f1b(self, tracer, timer: _StageTimer, n_micro: int) -> None:
+        """Lay mean measured stage costs onto the 1F1B schedule as per-rank
+        virtual spans; consecutive calls extend the same virtual timeline
+        so multi-step bubbles stay geometrically exact."""
+        from ..perf.pipeline_model import schedule_1f1b, simulate_timeline
+        fwd, bwd = timer.durations["F"], timer.durations["B"]
+        if not fwd or not bwd:
+            return
+        sim = simulate_timeline(schedule_1f1b(self.n_stages, n_micro),
+                                t_fwd=sum(fwd) / len(fwd),
+                                t_bwd=sum(bwd) / len(bwd))
+        base = self._virtual_clock if self._virtual_clock is not None \
+            else tracer.clock()
+        for phase, stage, micro, start, finish in sim["events"]:
+            tracer.add_span(f"{phase}{micro}", base + start, base + finish,
+                            track=f"{self.name}/rank{stage}",
+                            category="pp-1f1b", phase=phase, stage=stage,
+                            micro=micro)
+        self._virtual_clock = base + sim["makespan"]
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("pp.microbatches",
+                             "microbatches through the pipeline").inc(
+                n_micro, pipeline=self.name)
+            registry.gauge("pp.bubble",
+                           "1F1B bubble at measured stage costs").set(
+                sim["bubble"], pipeline=self.name)
+
     # -- single microbatch -------------------------------------------------
-    def _one_microbatch(self, x_t, t, cond, forc, loss_fn) -> float:
+    def _one_microbatch(self, x_t, t, cond, forc, loss_fn,
+                        timer=_NO_TIMER) -> float:
         model = self.model
         # Stage 0: I/O + embedding (+ the shared time embedding, which is
         # broadcast to every interior stage).
-        embed_out = model.embed_stage(Tensor(x_t), Tensor(cond), Tensor(forc))
-        t_emb = model.time_embed(Tensor(t))
+        with timer("F", 0):
+            embed_out = model.embed_stage(Tensor(x_t), Tensor(cond),
+                                          Tensor(forc))
+            t_emb = model.time_embed(Tensor(t))
         act = embed_out
 
         boundary_inputs: list[Tensor] = []
         boundary_tembs: list[Tensor] = []
         stage_outputs: list[Tensor] = []
         for s, layer in enumerate(model.layers):
-            inp = Tensor(act.numpy().copy(), requires_grad=True)
-            temb_in = Tensor(t_emb.numpy().copy(), requires_grad=True)
-            self._meter(s, inp.data.nbytes + temb_in.data.nbytes)
-            out = layer(inp, temb_in)
+            with timer("F", s + 1):
+                inp = Tensor(act.numpy().copy(), requires_grad=True)
+                temb_in = Tensor(t_emb.numpy().copy(), requires_grad=True)
+                self._meter(s, inp.data.nbytes + temb_in.data.nbytes)
+                out = layer(inp, temb_in)
             boundary_inputs.append(inp)
             boundary_tembs.append(temb_in)
             stage_outputs.append(out)
             act = out
-        # Last stage: decode + loss.
-        dec_in = Tensor(act.numpy().copy(), requires_grad=True)
-        self._meter(self.n_stages - 2, dec_in.data.nbytes)
-        pred = model.decode_stage(dec_in)
-        loss = loss_fn(pred)
-        loss.backward()
+        # Last stage: decode + loss; its backward runs down to the stage
+        # boundary (``dec_in`` is the detached boundary tensor).
+        with timer("F", self.n_stages - 1):
+            dec_in = Tensor(act.numpy().copy(), requires_grad=True)
+            self._meter(self.n_stages - 2, dec_in.data.nbytes)
+            pred = model.decode_stage(dec_in)
+            loss = loss_fn(pred)
+        with timer("B", self.n_stages - 1):
+            loss.backward()
 
         # Backward through interior stages, routing boundary gradients.
         grad = dec_in.grad
         for s in range(len(model.layers) - 1, -1, -1):
-            self._meter(s, grad.nbytes)
-            stage_outputs[s].backward(grad)
-            grad = boundary_inputs[s].grad
-        # Time-embedding gradients arrive from every interior stage.
-        temb_grad = np.zeros_like(t_emb.numpy())
-        for temb_in in boundary_tembs:
-            if temb_in.grad is not None:
-                temb_grad += temb_in.grad
-        t_emb.backward(temb_grad)
-        # Embedding-stage backward: the stage-0 graph was kept alive via
-        # `embed_out`; `grad` now holds dL/d(embedding output).
-        embed_out.backward(grad)
+            with timer("B", s + 1):
+                self._meter(s, grad.nbytes)
+                stage_outputs[s].backward(grad)
+                grad = boundary_inputs[s].grad
+        with timer("B", 0):
+            # Time-embedding gradients arrive from every interior stage.
+            temb_grad = np.zeros_like(t_emb.numpy())
+            for temb_in in boundary_tembs:
+                if temb_in.grad is not None:
+                    temb_grad += temb_in.grad
+            t_emb.backward(temb_grad)
+            # Embedding-stage backward: the stage-0 graph was kept alive via
+            # `embed_out`; `grad` now holds dL/d(embedding output).
+            embed_out.backward(grad)
         return loss.item()

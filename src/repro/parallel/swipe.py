@@ -31,6 +31,8 @@ import numpy as np
 from ..data import SyntheticReanalysis, TOY_SET
 from ..diffusion import TrigFlow, weighted_velocity_loss
 from ..model import Aeris, AerisConfig
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
 from ..tensor import Tensor
 from .comm import SimCluster
 from .data_parallel import allreduce_gradients
@@ -69,7 +71,8 @@ class SwipeEngine:
         self.pipelines = [
             AerisPipeline(replica, self.cluster,
                           pp_group=[topology.rank_of(d, p, 0, 0)
-                                    for p in range(topology.pp)])
+                                    for p in range(topology.pp)],
+                          name=f"dp{d}")
             for d, replica in enumerate(self.replicas)
         ]
         self.dp_group = topology.dp_group(pp=0, wp=0, sp=0)
@@ -116,29 +119,45 @@ class SwipeEngine:
             raise ValueError(f"global batch {batch} not divisible by DP={dp}")
         per = batch // dp
         losses = []
-        for replica in self.replicas:
-            replica.zero_grad()
-        for d, pipeline in enumerate(self.pipelines):
-            sl = slice(d * per, (d + 1) * per)
-            target = v_target[sl]
+        with _span("swipe.step", category="swipe", dp=dp, gas=gas,
+                   batch=batch):
+            for replica in self.replicas:
+                replica.zero_grad()
+            for d, pipeline in enumerate(self.pipelines):
+                sl = slice(d * per, (d + 1) * per)
+                target = v_target[sl]
 
-            def loss_fn(pred: Tensor, micro_slice: slice) -> Tensor:
-                mb_target = target[micro_slice]
-                return weighted_velocity_loss(
-                    pred * self.flow.sigma_d, mb_target, self.lat_weights,
-                    self.var_weights) * (1.0 / gas)
+                def loss_fn(pred: Tensor, micro_slice: slice) -> Tensor:
+                    mb_target = target[micro_slice]
+                    return weighted_velocity_loss(
+                        pred * self.flow.sigma_d, mb_target, self.lat_weights,
+                        self.var_weights) * (1.0 / gas)
 
-            losses.append(pipeline.forward_backward(
-                x_t[sl] / self.flow.sigma_d, t[sl], cond[sl], forc[sl],
-                loss_fn, n_micro=gas))
-        # DP gradient allreduce (FP32), then sharded optimizer update.
-        allreduce_gradients(self.cluster, self.dp_group, self.replicas)
-        self.zero.step()
-        # ZeRO's allgather distributes updated weights; mirror to replicas.
-        master = self.replicas[0].state_dict()
-        for replica in self.replicas[1:]:
-            replica.load_state_dict(master)
-        return float(np.mean(losses))
+                with _span("swipe.pipeline_fb", category="swipe", dp_rank=d):
+                    losses.append(pipeline.forward_backward(
+                        x_t[sl] / self.flow.sigma_d, t[sl], cond[sl],
+                        forc[sl], loss_fn, n_micro=gas))
+            # DP gradient allreduce (FP32), then sharded optimizer update.
+            with _span("swipe.grad_allreduce", category="swipe"):
+                allreduce_gradients(self.cluster, self.dp_group,
+                                    self.replicas)
+            with _span("swipe.zero_step", category="swipe"):
+                self.zero.step()
+            # ZeRO's allgather distributes updated weights; mirror to
+            # replicas.
+            with _span("swipe.sync_replicas", category="swipe"):
+                master = self.replicas[0].state_dict()
+                for replica in self.replicas[1:]:
+                    replica.load_state_dict(master)
+        mean_loss = float(np.mean(losses))
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("swipe.steps", "SWiPe optimization steps").inc()
+            registry.counter("swipe.samples",
+                             "global-batch samples consumed").inc(batch)
+            registry.gauge("swipe.loss", "last SWiPe step loss").set(
+                mean_loss)
+        return mean_loss
 
     # -- analytical per-layer WP/SP communication (paper formula) -------------
     def attention_alltoall_bytes(self, micro_batch: int) -> int:

@@ -93,12 +93,17 @@ def simulate_timeline(schedule: list[list[Event]], t_fwd: float,
     local F(s, m); W(s, m) needs only the local B(s, m). Stages process
     their own event lists in order, except that W passes may be overtaken
     by later-queued F/B work (they are fill-in work by construction).
-    Returns the makespan, per-stage busy time, and the bubble fraction.
+    Returns the makespan, per-stage busy time, the bubble fraction, and the
+    resolved per-event times (``events``: one ``(phase, stage, microbatch,
+    start, finish)`` tuple per scheduled pass) — the observability layer
+    replays these onto per-rank trace tracks so the bubble is visible in
+    ``chrome://tracing``.
     """
     pp = len(schedule)
     t_w = t_bwd / 2.0 if t_w is None else t_w
     durations = {"F": t_fwd, "B": t_bwd, "W": t_w}
     done: dict[tuple[str, int, int], float] = {}
+    events: list[tuple[str, int, int, float, float]] = []
     ready_time = [0.0] * pp
     queues = [list(ev) for ev in schedule]
     remaining = sum(len(q) for q in queues)
@@ -146,6 +151,7 @@ def simulate_timeline(schedule: list[list[Event]], t_fwd: float,
             start = max(ready_time[s], dep)
             finish = start + durations[ev.phase]
             done[(ev.phase, s, ev.microbatch)] = finish
+            events.append((ev.phase, s, ev.microbatch, start, finish))
             ready_time[s] = finish
             queues[s].pop(i)
             remaining -= 1
@@ -157,7 +163,7 @@ def simulate_timeline(schedule: list[list[Event]], t_fwd: float,
             for stage_events in schedule]
     bubble = 1.0 - sum(busy) / (pp * makespan)
     return {"makespan": makespan, "busy_per_stage": busy[0],
-            "bubble": bubble}
+            "bubble": bubble, "events": events}
 
 
 def max_in_flight(schedule: list[list[Event]]) -> int:

@@ -23,6 +23,8 @@ from ..diffusion import (
 )
 from ..model import Aeris
 from ..nn import EMA, AdamW, WarmupConstantDecay
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
 from ..tensor import Tensor
 
 __all__ = ["TrainerConfig", "Trainer"]
@@ -77,25 +79,62 @@ class Trainer:
     # -- one optimization step ------------------------------------------------
     def train_step(self) -> float:
         cfg = self.config
-        indices = self.rng_batch.choice(self.archive.split_indices("train"),
-                                        size=cfg.batch_size, replace=False)
-        cond, residual, forc = self.archive.training_batch(
-            indices, self.state_norm, self.residual_norm, self.forcing_norm)
-        x_t, t, v_target = self.flow.training_pair(residual, self.rng_t,
-                                                   self.rng_z)
-        self.optimizer.zero_grad()
-        pred = self.model(Tensor(x_t / self.flow.sigma_d),
-                          Tensor(t), Tensor(cond), Tensor(forc))
-        loss = weighted_velocity_loss(pred * self.flow.sigma_d, v_target,
-                                      self.lat_weights, self.var_weights)
-        loss.backward()
-        self.optimizer.lr = self.schedule.lr_at(self.images_seen)
-        self.optimizer.step()
-        self.images_seen += cfg.batch_size
-        self.ema.update(self.model, images_per_step=cfg.batch_size)
-        value = loss.item()
+        with _span("train.step", category="train", step=len(self.history)):
+            with _span("train.data", category="train"):
+                indices = self.rng_batch.choice(
+                    self.archive.split_indices("train"),
+                    size=cfg.batch_size, replace=False)
+                cond, residual, forc = self.archive.training_batch(
+                    indices, self.state_norm, self.residual_norm,
+                    self.forcing_norm)
+                x_t, t, v_target = self.flow.training_pair(
+                    residual, self.rng_t, self.rng_z)
+            self.optimizer.zero_grad()
+            with _span("train.forward", category="train"):
+                pred = self.model(Tensor(x_t / self.flow.sigma_d),
+                                  Tensor(t), Tensor(cond), Tensor(forc))
+                loss = weighted_velocity_loss(
+                    pred * self.flow.sigma_d, v_target,
+                    self.lat_weights, self.var_weights)
+            with _span("train.backward", category="train"):
+                loss.backward()
+            with _span("train.optimizer", category="train"):
+                self.optimizer.lr = self.schedule.lr_at(self.images_seen)
+                self.optimizer.step()
+                self.images_seen += cfg.batch_size
+                self.ema.update(self.model, images_per_step=cfg.batch_size)
+            value = loss.item()
         self.history.append(value)
+        self._record_step_metrics(value)
         return value
+
+    def _record_step_metrics(self, loss_value: float) -> None:
+        """Per-step telemetry (loss / LR / grad norm / EMA decay).  The
+        gradient norm is only computed while metrics are enabled, so the
+        disabled path stays exactly the seed numerics at zero extra cost."""
+        registry = _obs_metrics()
+        if registry is None:
+            return
+        cfg = self.config
+        sq = 0.0
+        for p in self.model.parameters():
+            if p.grad is not None:
+                sq += float(np.sum(np.square(p.grad, dtype=np.float64)))
+        registry.counter("train.steps", "optimization steps").inc()
+        registry.counter("train.images", "images consumed").inc(
+            cfg.batch_size)
+        registry.gauge("train.loss", "last training loss").set(loss_value)
+        registry.gauge("train.lr", "current learning rate").set(
+            self.optimizer.lr)
+        registry.gauge("train.grad_norm", "global gradient L2 norm").set(
+            float(np.sqrt(sq)))
+        registry.gauge("train.ema_decay",
+                       "per-step EMA decay factor").set(
+            self.ema.decay_for(cfg.batch_size))
+        registry.histogram("train.loss_hist",
+                           "training loss distribution",
+                           buckets=(0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                    100.0)).observe(loss_value)
 
     def fit(self, n_steps: int) -> list[float]:
         for _ in range(n_steps):
@@ -122,14 +161,19 @@ class Trainer:
                 indices, self.state_norm, self.residual_norm,
                 self.forcing_norm)
             x_t, t, v_target = self.flow.training_pair(residual, rng_t, rng_z)
-            with no_grad():
+            with _span("train.validation_batch", category="train"), \
+                    no_grad():
                 pred = self.model(Tensor(x_t / self.flow.sigma_d), Tensor(t),
                                   Tensor(cond), Tensor(forc))
                 loss = weighted_velocity_loss(
                     pred * self.flow.sigma_d, v_target, self.lat_weights,
                     self.var_weights)
             losses.append(loss.item())
-        return float(np.mean(losses))
+        mean = float(np.mean(losses))
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.gauge("train.val_loss", "last validation loss").set(mean)
+        return mean
 
     # -- inference export ------------------------------------------------------
     def forecaster(self, solver_config: SolverConfig = SolverConfig(),

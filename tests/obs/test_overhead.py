@@ -1,0 +1,116 @@
+"""With tracing disabled, instrumented paths must be strict no-ops:
+bit-identical numerics to an uninstrumented run and zero span allocations
+(the hot-path contract of :mod:`repro.obs.profile`)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data import ReanalysisConfig, SyntheticReanalysis
+from repro.model import Aeris
+from repro.obs import Span
+from repro.parallel import RankTopology, SimCluster, SwipeEngine
+from repro.train import Trainer, TrainerConfig
+from tests.train.test_trainer import TINY16
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _small_archive(seed=0):
+    return SyntheticReanalysis(ReanalysisConfig(
+        height=16, width=32, train_years=0.3, val_years=0.1, test_years=0.1,
+        seed=seed, spinup_steps=40))
+
+
+def _train(archive, n_steps=3):
+    trainer = Trainer(Aeris(TINY16, seed=0), archive,
+                      TrainerConfig(batch_size=4, peak_lr=3e-3,
+                                    warmup_images=40, total_images=4_000,
+                                    decay_images=400, seed=0))
+    trainer.fit(n_steps)
+    return trainer
+
+
+class TestDisabledIsFree:
+    def test_trainer_allocates_no_spans_when_disabled(self):
+        archive = _small_archive()
+        _train(archive, n_steps=1)  # warm everything up
+        before = Span.allocated
+        _train(archive, n_steps=2)
+        assert Span.allocated == before
+
+    def test_collectives_allocate_no_spans_when_disabled(self):
+        cluster = SimCluster(4, ranks_per_node=2)
+        before = Span.allocated
+        arrays = [np.ones(8, dtype=np.float32) for _ in range(4)]
+        cluster.allreduce([0, 1, 2, 3], arrays)
+        cluster.broadcast([0, 1], 0, arrays[0])
+        cluster.send(0, 1, arrays[0])
+        assert Span.allocated == before
+        assert cluster.stats.total_bytes() > 0  # metering still works
+
+    def test_disabled_hooks_share_one_null_scope(self):
+        before = Span.allocated
+        with obs.span("a", x=1):
+            with obs.Scope("b"):
+                pass
+        assert Span.allocated == before
+
+
+class TestDisabledIsBitIdentical:
+    def test_trainer_numerics_identical_enabled_vs_disabled(self):
+        """Tracing must be purely read-only: the same trainer run with and
+        without observability produces bit-identical weights and losses."""
+        plain = _train(_small_archive(), n_steps=3)
+        with obs.observed():
+            traced = _train(_small_archive(), n_steps=3)
+        assert plain.history == traced.history
+        for (name, p_a), p_b in zip(plain.model.named_parameters(),
+                                    traced.model.parameters()):
+            np.testing.assert_array_equal(p_a.data, p_b.data, err_msg=name)
+
+    def test_swipe_numerics_identical_enabled_vs_disabled(self):
+        archive = _small_archive(seed=3)
+        topo = RankTopology(dp=1, pp=TINY16.pp_stages, wp_grid=(1, 1), sp=1)
+
+        def one_step():
+            engine = SwipeEngine(TINY16, archive, topo, lr=1e-3, seed=0)
+            idx = archive.split_indices("train")[:4]
+            cond, residual, forc = archive.training_batch(
+                idx, archive.state_normalizer(),
+                archive.residual_normalizer(),
+                archive.forcing_normalizer())
+            x_t, t, v = engine.make_training_pairs(residual)
+            loss = engine.train_step(x_t, t, v, cond, forc, gas=4)
+            return loss, engine.replicas[0].state_dict(), \
+                dict(engine.cluster.stats.bytes)
+
+        loss_a, state_a, bytes_a = one_step()
+        with obs.observed():
+            loss_b, state_b, bytes_b = one_step()
+        assert loss_a == loss_b
+        assert bytes_a == bytes_b  # byte metering unchanged by tracing
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_b[name],
+                                          err_msg=name)
+
+    def test_sampler_identical_enabled_vs_disabled(self):
+        archive = _small_archive(seed=1)
+        trainer = _train(archive, n_steps=2)
+        from repro import SolverConfig
+        ic = int(archive.split_indices("test")[0])
+
+        def forecast():
+            fc = trainer.forecaster(SolverConfig(n_steps=3, churn=0.3))
+            return fc.rollout(archive.fields[ic], 2,
+                              np.random.default_rng(0), start_index=ic)
+
+        plain = forecast()
+        with obs.observed():
+            traced = forecast()
+        np.testing.assert_array_equal(plain, traced)

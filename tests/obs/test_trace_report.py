@@ -1,0 +1,137 @@
+"""Acceptance tests for the observability tentpole: a toy SWiPe run
+(PP=4, 4 microbatches) exports a valid Chrome trace with per-rank 1F1B
+stage spans, and ``TraceReport`` shows observed bubble fraction and
+collective bytes agreeing with the :mod:`repro.perf` predictions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.model import count_parameters
+from repro.parallel import RankTopology, SwipeEngine
+from repro.perf import AURORA, CommModel, bubble_fraction
+from tests.train.test_trainer import TINY16
+
+GAS = 4  # microbatches: >= 4 per the acceptance criterion
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def traced_run(tiny_archive):
+    """One traced SWiPe step: returns (tracer, registry, engine, topo)."""
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    obs.enable(tracer, registry)
+    try:
+        topo = RankTopology(dp=2, pp=TINY16.pp_stages, wp_grid=(1, 1), sp=1)
+        engine = SwipeEngine(TINY16, tiny_archive, topo, lr=1e-3, seed=0)
+        idx = tiny_archive.split_indices("train")[:8]
+        cond, residual, forc = tiny_archive.training_batch(
+            idx, tiny_archive.state_normalizer(),
+            tiny_archive.residual_normalizer(),
+            tiny_archive.forcing_normalizer())
+        x_t, t, v = engine.make_training_pairs(residual)
+        engine.train_step(x_t, t, v, cond, forc, gas=GAS)
+    finally:
+        obs.disable()
+    return tracer, registry, engine, topo
+
+
+class TestChromeTraceFromSwipe:
+    def test_trace_is_valid_and_shows_per_rank_1f1b_spans(self, traced_run,
+                                                          tmp_path):
+        tracer, _, _, topo = traced_run
+        path = tmp_path / "swipe_trace.json"
+        tracer.write_chrome(str(path))
+        events = json.loads(path.read_text())
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert x_events, "no complete events exported"
+        assert all(e["dur"] >= 0 and "ts" in e and "tid" in e
+                   for e in x_events)
+        # One per-rank 1F1B track per (replica, stage).
+        tracks = {e["args"]["name"]: e["tid"] for e in events
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        rank_tracks = {name for name in tracks if "/rank" in name}
+        assert len(rank_tracks) == topo.dp * topo.pp
+        # Every stage ran each microbatch forward and backward.
+        stage_events = [e for e in x_events if e.get("cat") == "pp-1f1b"]
+        assert len(stage_events) == topo.dp * topo.pp * GAS * 2
+        phases = {(e["args"]["phase"], e["args"]["stage"],
+                   e["args"]["micro"]) for e in stage_events}
+        assert len(phases) == topo.pp * GAS * 2  # F and B per (stage, m)
+
+    def test_1f1b_warmup_staircase_visible(self, traced_run):
+        """Stage s's first forward starts after stage s-1's (the bubble)."""
+        tracer, _, _, topo = traced_run
+        spans = [s for s in tracer.select(category="pp-1f1b",
+                                          track_prefix="dp0/")
+                 if s.attrs["phase"] == "F" and s.attrs["micro"] == 0]
+        spans.sort(key=lambda s: s.attrs["stage"])
+        assert len(spans) == topo.pp
+        starts = [s.start for s in spans]
+        assert starts == sorted(starts)
+        assert starts[-1] > starts[0]
+
+
+class TestTraceReportChecks:
+    def test_bubble_observed_vs_predicted(self, traced_run):
+        tracer, registry, _, topo = traced_run
+        report = obs.TraceReport(tracer, registry)
+        result = report.pipeline_check(pp=topo.pp, n_micro=GAS,
+                                       track_prefix="dp0/rank")
+        assert result["agrees"], result
+        assert result["observed_bubble"] == pytest.approx(
+            bubble_fraction(topo.pp, GAS), abs=0.02)
+        assert result["abs_error_simulated"] < 0.02
+
+    def test_comm_bytes_registry_matches_commstats_exactly(self, traced_run):
+        tracer, registry, engine, _ = traced_run
+        report = obs.TraceReport(tracer, registry)
+        result = report.comm_check(engine.cluster.stats)
+        assert result["agrees"], result
+        assert result["registry_vs_commstats"]  # non-empty
+        for series in result["registry_vs_commstats"].values():
+            assert series["match"]
+
+    def test_comm_bytes_vs_analytical_model(self, traced_run, tiny_archive):
+        """Measured DP-gradient allreduce volume vs the comm model's
+        ``grad_allreduce_bytes`` (per stage-rank; × PP × DP for the summed
+        meter)."""
+        tracer, registry, engine, topo = traced_run
+        model = CommModel(TINY16, AURORA, topo)
+        predicted = model.grad_allreduce_bytes() * topo.pp * topo.dp
+        report = obs.TraceReport(tracer, registry)
+        result = report.comm_check(engine.cluster.stats,
+                                   predicted={"allreduce": predicted},
+                                   rel_tol=0.05)
+        assert result["agrees"], result
+        # Sanity: the prediction derives from the true parameter count.
+        assert predicted == pytest.approx(
+            2 * (topo.dp - 1) * 4 * count_parameters(TINY16), rel=0.05)
+
+    def test_report_renders_and_serializes(self, traced_run):
+        tracer, registry, engine, topo = traced_run
+        report = obs.TraceReport(tracer, registry)
+        report.pipeline_check(pp=topo.pp, n_micro=GAS,
+                              track_prefix="dp0/rank")
+        report.comm_check(engine.cluster.stats)
+        text = report.render()
+        assert "pipeline bubble" in text and "OK" in text
+        parsed = json.loads(report.to_json())
+        assert {c["check"] for c in parsed["checks"]} == {
+            "pipeline_bubble", "comm_bytes"}
+        assert "metrics" in parsed and "span_summary" in parsed
+
+    def test_registry_recorded_engine_metrics(self, traced_run):
+        _, registry, _, topo = traced_run
+        assert registry.counter("swipe.steps").value() == 1
+        assert registry.counter("pp.microbatches").total() == topo.dp * GAS
+        assert registry.gauge("pp.bubble").value(pipeline="dp0") == \
+            pytest.approx(bubble_fraction(topo.pp, GAS), abs=0.02)

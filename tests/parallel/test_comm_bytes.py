@@ -1,0 +1,154 @@
+"""Byte-accounting coverage for the remaining collectives
+(``reduce_scatter`` / ``broadcast``), the per-hop ring locality
+attribution of ``allreduce``, and the ``CommStats`` helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import CommStats, SimCluster
+
+
+def _chunks(n, size=4):
+    """n x n contribution matrix of float32 arrays (``size`` elements)."""
+    return [[np.full(size, 10.0 * i + j, dtype=np.float32)
+             for j in range(n)] for i in range(n)]
+
+
+class TestReduceScatterBytes:
+    def test_bytes_exclude_own_shard(self):
+        cluster = SimCluster(3)
+        chunk_bytes = 4 * 4  # 4 float32
+        cluster.reduce_scatter([0, 1, 2], _chunks(3))
+        # Each of 3 shards receives 2 remote contributions.
+        assert cluster.stats.total_bytes("reduce_scatter") == \
+            3 * 2 * chunk_bytes
+
+    def test_locality_split_across_nodes(self):
+        # Nodes: {0, 1} and {2, 3}; group of 4 -> for each shard j, the
+        # contribution from i is intra iff i and j share a node.
+        cluster = SimCluster(4, ranks_per_node=2)
+        chunk_bytes = 4 * 4
+        cluster.reduce_scatter([0, 1, 2, 3], _chunks(4))
+        # Per shard: 1 intra remote contribution + 2 inter.
+        assert cluster.stats.total_bytes("reduce_scatter", "intra") == \
+            4 * 1 * chunk_bytes
+        assert cluster.stats.total_bytes("reduce_scatter", "inter") == \
+            4 * 2 * chunk_bytes
+
+    def test_ops_counted_per_contribution(self):
+        cluster = SimCluster(2)
+        cluster.reduce_scatter([0, 1], _chunks(2))
+        assert sum(cluster.stats.ops[k] for k in cluster.stats.ops
+                   if k[0] == "reduce_scatter") == 2
+
+
+class TestBroadcastBytes:
+    def test_bytes_exclude_root(self):
+        cluster = SimCluster(4, ranks_per_node=4)
+        payload = np.zeros(25, dtype=np.float32)  # 100 bytes
+        cluster.broadcast([0, 1, 2, 3], 0, payload)
+        assert cluster.stats.total_bytes("broadcast") == 3 * 100
+        assert cluster.stats.total_bytes("broadcast", "intra") == 3 * 100
+
+    def test_locality_judged_from_root(self):
+        cluster = SimCluster(4, ranks_per_node=2)
+        payload = np.zeros(10, dtype=np.float32)  # 40 bytes
+        # Root is rank 1 (node 0); rank 0 is intra, ranks 2 and 3 inter.
+        cluster.broadcast([0, 1, 2, 3], 1, payload)
+        assert cluster.stats.total_bytes("broadcast", "intra") == 40
+        assert cluster.stats.total_bytes("broadcast", "inter") == 2 * 40
+
+    def test_non_contiguous_group(self):
+        cluster = SimCluster(8, ranks_per_node=2)
+        payload = np.zeros(1, dtype=np.float32)  # 4 bytes
+        # Group {0, 1, 6}: root 0 -> 1 intra (node 0), 6 inter (node 3).
+        cluster.broadcast([0, 1, 6], 0, payload)
+        assert cluster.stats.total_bytes("broadcast", "intra") == 4
+        assert cluster.stats.total_bytes("broadcast", "inter") == 4
+
+
+class TestAllreduceRingLocality:
+    def test_mixed_group_attributes_per_hop(self):
+        """A group spanning two nodes has 2 intra hops and 2 inter hops
+        (ring 0→1→2→3→0 over nodes {0,0,1,1}) — previously the whole ring
+        was booked as inter."""
+        cluster = SimCluster(4, ranks_per_node=2)
+        nbytes = 400
+        arrays = [np.zeros(100, dtype=np.float32) for _ in range(4)]
+        cluster.allreduce([0, 1, 2, 3], arrays)
+        per_hop = int(2 * 3 / 4 * nbytes)
+        assert cluster.stats.total_bytes("allreduce", "intra") == 2 * per_hop
+        assert cluster.stats.total_bytes("allreduce", "inter") == 2 * per_hop
+
+    def test_total_ring_volume_unchanged(self):
+        cluster = SimCluster(4, ranks_per_node=2)
+        arrays = [np.zeros(100, dtype=np.float32) for _ in range(4)]
+        cluster.allreduce([0, 1, 2, 3], arrays)
+        assert cluster.stats.total_bytes("allreduce") == int(2 * 3 / 4 * 400) * 4
+
+    def test_single_node_group_stays_intra(self):
+        cluster = SimCluster(4, ranks_per_node=4)
+        arrays = [np.zeros(10, dtype=np.float32) for _ in range(4)]
+        cluster.allreduce([0, 1, 2, 3], arrays)
+        assert cluster.stats.total_bytes("allreduce", "inter") == 0
+        assert cluster.stats.total_bytes("allreduce", "intra") > 0
+
+    def test_ring_follows_group_ordering(self):
+        """Locality is judged along the *given* ring order: [0, 2, 1, 3]
+        over nodes {0,0,1,1} makes every hop inter-node."""
+        cluster = SimCluster(4, ranks_per_node=2)
+        arrays = [np.zeros(10, dtype=np.float32) for _ in range(4)]
+        cluster.allreduce([0, 2, 1, 3], arrays)
+        assert cluster.stats.total_bytes("allreduce", "intra") == 0
+
+
+class TestCommStatsHelpers:
+    def _stats(self, pairs):
+        s = CommStats()
+        for primitive, locality, nbytes in pairs:
+            s.add(primitive, locality, nbytes)
+        return s
+
+    def test_merge_accumulates(self):
+        a = self._stats([("p2p", "intra", 100), ("allreduce", "inter", 50)])
+        b = self._stats([("p2p", "intra", 10), ("broadcast", "intra", 5)])
+        result = a.merge(b)
+        assert result is a  # in place
+        assert a.bytes[("p2p", "intra")] == 110
+        assert a.ops[("p2p", "intra")] == 2
+        assert a.bytes[("allreduce", "inter")] == 50
+        assert a.bytes[("broadcast", "intra")] == 5
+
+    def test_merge_leaves_other_untouched(self):
+        a = self._stats([("p2p", "intra", 1)])
+        b = self._stats([("p2p", "intra", 2)])
+        a.merge(b)
+        assert b.bytes[("p2p", "intra")] == 2
+        assert b.ops[("p2p", "intra")] == 1
+
+    def test_merge_matches_two_cluster_sum(self):
+        c1, c2 = SimCluster(2), SimCluster(2)
+        payload = np.zeros(10, dtype=np.float32)
+        c1.send(0, 1, payload)
+        c2.send(0, 1, payload)
+        c2.broadcast([0, 1], 0, payload)
+        merged = CommStats().merge(c1.stats).merge(c2.stats)
+        assert merged.total_bytes("p2p") == \
+            c1.stats.total_bytes("p2p") + c2.stats.total_bytes("p2p")
+        assert merged.total_bytes() == \
+            c1.stats.total_bytes() + c2.stats.total_bytes()
+
+    def test_as_table(self):
+        s = self._stats([("p2p", "intra", 1000), ("p2p", "inter", 2000),
+                         ("alltoall", "intra", 500)])
+        table = s.as_table()
+        lines = table.splitlines()
+        assert lines[0].split() == ["primitive", "locality", "ops", "bytes"]
+        assert any("p2p" in ln and "intra" in ln and "1,000" in ln
+                   for ln in lines)
+        assert lines[-1].split()[0] == "total"
+        assert "3,500" in lines[-1]
+
+    def test_as_table_empty(self):
+        table = CommStats().as_table()
+        assert "total" in table and "0" in table

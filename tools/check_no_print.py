@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Lint: no ``print(`` calls in ``src/repro/`` outside ``repro/obs``.
+
+Library output must flow through the observability layer (spans, metrics,
+exported tables) rather than ad-hoc printing — otherwise benchmarks and
+services can't capture, merge, or machine-read it.  The ``repro/obs``
+package is exempt (its exporters *are* the sanctioned output path).
+
+Token-based, so docstrings and comments mentioning ``print(`` are fine.
+Exits non-zero listing offending ``file:line`` locations.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+import tokenize
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+EXEMPT_DIRS = (os.path.join(SRC, "obs"),)
+
+
+def print_calls(path: str) -> list[int]:
+    """Line numbers of ``print(`` call sites (NAME 'print' followed by
+    ``(``) in one file."""
+    with open(path, "rb") as fh:
+        source = fh.read()
+    lines: list[int] = []
+    tokens = list(tokenize.tokenize(io.BytesIO(source).readline))
+    for tok, nxt in zip(tokens, tokens[1:]):
+        if (tok.type == tokenize.NAME and tok.string == "print"
+                and nxt.type == tokenize.OP and nxt.string == "("):
+            lines.append(tok.start[0])
+    return lines
+
+
+def main() -> int:
+    violations: list[str] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(SRC)):
+        if any(dirpath == d or dirpath.startswith(d + os.sep)
+               for d in EXEMPT_DIRS):
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            for line in print_calls(path):
+                rel = os.path.relpath(path, REPO_ROOT)
+                violations.append(f"{rel}:{line}: print() call "
+                                  "(route output through repro.obs)")
+    if violations:
+        sys.stderr.write("\n".join(violations) + "\n")
+        return 1
+    sys.stdout.write("check_no_print: OK\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
