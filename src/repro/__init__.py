@@ -19,6 +19,8 @@ A from-scratch, pure-NumPy reproduction of the complete AERIS system:
 * :mod:`repro.obs` — tracing / metrics / profiling (off by default;
   exports Chrome traces and cross-checks observations against
   :mod:`repro.perf`);
+* :mod:`repro.resilience` — seeded fault injection, self-healing
+  collectives (checksum + retry), and elastic checkpoint/recovery;
 * :mod:`repro.train` / :mod:`repro.baselines` / :mod:`repro.eval` —
   training, comparison systems, and verification metrics.
 
@@ -31,7 +33,7 @@ Quickstart::
 """
 
 from . import baselines, data, diffusion, eval, model, nn, obs, parallel
-from . import perf, tensor, train
+from . import perf, resilience, tensor, train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -41,7 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "tensor", "nn", "model", "diffusion", "data", "parallel", "perf",
-    "train", "baselines", "eval", "obs",
+    "train", "baselines", "eval", "obs", "resilience",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
     "SyntheticReanalysis", "ReanalysisConfig",

@@ -141,6 +141,47 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    # -- fault accounting ----------------------------------------------------
+    def resilience_check(self, injector) -> dict:
+        """Every fault the injector dealt must be *observed* somewhere.
+
+        Reconciles :attr:`FaultInjector.injected` against what the layers
+        booked: transient flips/drops against ``comm.faults_detected``,
+        stragglers against the ``comm.straggler_s`` histogram, fail-stops
+        against the supervisor's ``resilience.dead_ranks`` counter.  Spans
+        of category ``resilience`` are counted too — a silent fault (dealt
+        but never detected) fails the check.
+        """
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        injected = dict(injector.injected)
+        detected = self.registry.counter("comm.faults_detected")
+        straggles = self.registry.histogram("comm.straggler_s")
+        per_kind = {}
+        agrees = True
+        for kind in ("flip", "drop"):
+            dealt = injected.get(kind, 0)
+            seen = detected.total(kind=kind)
+            match = seen == dealt
+            agrees = agrees and match
+            per_kind[kind] = {"injected": dealt, "detected": seen,
+                              "match": match}
+        dealt = injected.get("straggler", 0)
+        seen = sum(cell["count"] for cell in straggles.series.values())
+        per_kind["straggler"] = {"injected": dealt, "detected": seen,
+                                 "match": seen == dealt}
+        agrees = agrees and seen == dealt
+        dealt = injected.get("failstop", 0)
+        handled = self.registry.counter("resilience.dead_ranks").total()
+        per_kind["failstop"] = {"injected": dealt, "handled": handled,
+                                "match": handled == dealt}
+        agrees = agrees and handled == dealt
+        n_spans = len(self.tracer.select(category="resilience"))
+        result = {"check": "resilience_faults", "per_kind": per_kind,
+                  "resilience_spans": n_spans, "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> dict:
         out = {"checks": self.checks,
@@ -164,6 +205,15 @@ class TraceReport:
                     f" | closed-form {c['predicted_bubble_closed_form']:.4f}"
                     + (f" | simulated {sim:.4f}" if sim is not None else "")
                     + f" | {'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "resilience_faults":
+                parts = []
+                for kind, r in c["per_kind"].items():
+                    seen = r.get("detected", r.get("handled"))
+                    parts.append(f"{kind} {r['injected']}/{seen}")
+                lines.append(
+                    f"  resilience faults (injected/observed): "
+                    f"{', '.join(parts)} | {c['resilience_spans']} spans | "
+                    f"{'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "comm_bytes":
                 n = len(c["registry_vs_commstats"])
                 lines.append(f"  comm bytes: {n} (primitive, locality) "

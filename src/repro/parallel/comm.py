@@ -18,6 +18,26 @@ labeled by primitive and locality) and every collective runs inside a
 tracer span — so the cluster's byte accounting and the observability
 layer meter the *same* events and :class:`repro.obs.TraceReport` can
 cross-check them exactly.
+
+**Self-healing** (:mod:`repro.resilience`): when the cluster is built
+with a :class:`~repro.resilience.FaultInjector`, every logical transfer
+is routed through :meth:`SimCluster.transfer`, which
+
+* raises :class:`~repro.resilience.RankFailure` if a participant is dead
+  (fail-stop faults are permanent — the supervisor must re-grid);
+* verifies a per-message CRC32 on delivery and re-sends on mismatch or
+  drop, with exponential backoff from a
+  :class:`~repro.resilience.RetryPolicy` (transient faults heal
+  bit-exactly: the payload is redelivered unmodified or an exception is
+  raised — numerics are never silently perturbed);
+* books every retry attempt's bytes in :class:`CommStats` (retries cost
+  real fabric traffic) and the retry/detection/straggler telemetry in the
+  metrics registry (``comm.retries``, ``comm.faults_detected``,
+  ``comm.straggler_s``, ``comm.backoff_s``) plus ``resilience``-category
+  trace spans.
+
+Without an injector the fault path is never entered and the byte
+accounting is exactly the seed behaviour.
 """
 
 from __future__ import annotations
@@ -29,6 +49,9 @@ import numpy as np
 
 from ..obs.profile import metrics as _obs_metrics
 from ..obs.profile import span as _span
+from ..resilience.checksum import payload_checksum
+from ..resilience.faults import CommTimeout, MessageCorruption
+from ..resilience.retry import RetryPolicy
 
 __all__ = ["CommStats", "SimCluster"]
 
@@ -96,12 +119,15 @@ class SimCluster:
     an explicit ``group`` of global rank ids (so locality can be judged).
     """
 
-    def __init__(self, n_ranks: int, ranks_per_node: int = 1):
+    def __init__(self, n_ranks: int, ranks_per_node: int = 1,
+                 injector=None, retry: RetryPolicy | None = None):
         if n_ranks % ranks_per_node:
             raise ValueError("n_ranks must be a multiple of ranks_per_node")
         self.n_ranks = n_ranks
         self.ranks_per_node = ranks_per_node
         self.stats = CommStats()
+        self.injector = injector
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def node_of(self, rank: int) -> int:
         return rank // self.ranks_per_node
@@ -109,13 +135,91 @@ class SimCluster:
     def _locality(self, a: int, b: int) -> str:
         return "intra" if self.node_of(a) == self.node_of(b) else "inter"
 
+    # -- fault-aware metered transfer ----------------------------------------
+    def transfer(self, primitive: str, src: int, dst: int, nbytes: int,
+                 payload: np.ndarray | None = None) -> None:
+        """Meter one logical ``src → dst`` movement of ``nbytes``.
+
+        With no injector this is exactly ``stats.add``.  With one, the
+        transfer is checked against the fault plan: dead participants
+        raise :class:`~repro.resilience.RankFailure`; dropped or
+        checksum-failing deliveries are re-sent (each attempt books its
+        bytes — retries cost fabric traffic) until clean or the
+        :class:`~repro.resilience.RetryPolicy` is exhausted, which raises
+        :class:`~repro.resilience.CommTimeout` /
+        :class:`~repro.resilience.MessageCorruption`.  A healed transfer
+        is bit-exact: the caller's payload is never modified.
+        """
+        locality = self._locality(src, dst)
+        inj = self.injector
+        if inj is None:
+            self.stats.add(primitive, locality, nbytes)
+            return
+        inj.raise_if_dead((src, dst), primitive)
+        expected = payload_checksum(payload) if payload is not None else None
+        attempt = 0
+        while True:
+            self.stats.add(primitive, locality, nbytes)
+            fault, delay_s = inj.transfer_fault(primitive, src, dst, attempt)
+            if delay_s:
+                self._record_straggler(primitive, src, dst, delay_s)
+            if fault == "flip" and expected is not None \
+                    and payload_checksum(inj.corrupt(payload)) == expected:
+                fault = None  # flip not detectable => delivery counts clean
+            if fault is None:
+                return
+            self._record_detected(primitive, src, dst, fault)
+            attempt += 1
+            if attempt > self.retry.max_retries:
+                detail = (f"{primitive} {src}->{dst} still failing after "
+                          f"{self.retry.max_retries} retries")
+                raise (CommTimeout(detail) if fault == "drop"
+                       else MessageCorruption(detail))
+            self._record_retry(primitive, attempt)
+
+    def _record_straggler(self, primitive: str, src: int, dst: int,
+                          delay_s: float) -> None:
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.histogram("comm.straggler_s",
+                               "simulated late-delivery delays").observe(
+                delay_s, primitive=primitive)
+        with _span("resilience.straggler", category="resilience",
+                   primitive=primitive, src=src, dst=dst, delay_s=delay_s):
+            pass
+
+    def _record_detected(self, primitive: str, src: int, dst: int,
+                         kind: str) -> None:
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("comm.faults_detected",
+                             "transient faults caught at delivery").inc(
+                1, primitive=primitive, kind=kind)
+        with _span("resilience.fault", category="resilience", kind=kind,
+                   primitive=primitive, src=src, dst=dst):
+            pass
+
+    def _record_retry(self, primitive: str, attempt: int) -> None:
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("comm.retries",
+                             "message re-sends after transient faults").inc(
+                1, primitive=primitive)
+            registry.histogram("comm.backoff_s",
+                               "simulated exponential-backoff waits").observe(
+                self.retry.backoff_s(attempt), primitive=primitive)
+
+    def _check_group(self, group: list[int], primitive: str) -> None:
+        if self.injector is not None:
+            self.injector.raise_if_dead(group, primitive)
+
     # -- point to point -------------------------------------------------------
     def send(self, src: int, dst: int, array: np.ndarray) -> np.ndarray:
         """P2P transfer (PP activations / window-shift fragments)."""
         if src != dst:
             with _span("comm.p2p", category="comm", src=src, dst=dst,
                        nbytes=array.nbytes):
-                self.stats.add("p2p", self._locality(src, dst), array.nbytes)
+                self.transfer("p2p", src, dst, array.nbytes, payload=array)
         return array.copy()
 
     # -- collectives ------------------------------------------------------------
@@ -128,13 +232,14 @@ class SimCluster:
         n = len(group)
         if len(chunks) != n or any(len(row) != n for row in chunks):
             raise ValueError("chunks must be an n x n matrix of arrays")
+        self._check_group(group, "alltoall")
         with _span("comm.alltoall", category="comm", group=n):
             for i in range(n):
                 for j in range(n):
                     if i != j:
-                        self.stats.add("alltoall",
-                                       self._locality(group[i], group[j]),
-                                       chunks[i][j].nbytes)
+                        self.transfer("alltoall", group[i], group[j],
+                                      chunks[i][j].nbytes,
+                                      payload=chunks[i][j])
         return [[chunks[i][j].copy() for i in range(n)] for j in range(n)]
 
     def allreduce(self, group: list[int], arrays: list[np.ndarray]
@@ -149,6 +254,7 @@ class SimCluster:
         n = len(group)
         if len(arrays) != n:
             raise ValueError("one array per group rank required")
+        self._check_group(group, "allreduce")
         total = arrays[0].astype(np.float64)
         for a in arrays[1:]:
             total = total + a
@@ -159,22 +265,20 @@ class SimCluster:
             with _span("comm.allreduce", category="comm", group=n,
                        nbytes=per_hop * n):
                 for i in range(n):
-                    self.stats.add(
-                        "allreduce",
-                        self._locality(group[i], group[(i + 1) % n]),
-                        per_hop)
+                    self.transfer("allreduce", group[i], group[(i + 1) % n],
+                                  per_hop, payload=result)
         return [result.copy() for _ in range(n)]
 
     def allgather(self, group: list[int], arrays: list[np.ndarray]
                   ) -> list[list[np.ndarray]]:
         n = len(group)
+        self._check_group(group, "allgather")
         with _span("comm.allgather", category="comm", group=n):
             for i in range(n):
                 for j in range(n):
                     if i != j:
-                        self.stats.add("allgather",
-                                       self._locality(group[i], group[j]),
-                                       arrays[i].nbytes)
+                        self.transfer("allgather", group[i], group[j],
+                                      arrays[i].nbytes, payload=arrays[i])
         return [[a.copy() for a in arrays] for _ in range(n)]
 
     def reduce_scatter(self, group: list[int], chunks: list[list[np.ndarray]]
@@ -182,6 +286,7 @@ class SimCluster:
         """``chunks[i][j]``: rank i's contribution to shard j; rank j gets
         the sum over i."""
         n = len(group)
+        self._check_group(group, "reduce_scatter")
         out = []
         with _span("comm.reduce_scatter", category="comm", group=n):
             for j in range(n):
@@ -191,18 +296,18 @@ class SimCluster:
                 out.append(total.astype(chunks[0][j].dtype))
                 for i in range(n):
                     if i != j:
-                        self.stats.add("reduce_scatter",
-                                       self._locality(group[i], group[j]),
-                                       chunks[i][j].nbytes)
+                        self.transfer("reduce_scatter", group[i], group[j],
+                                      chunks[i][j].nbytes,
+                                      payload=chunks[i][j])
         return out
 
     def broadcast(self, group: list[int], root_index: int,
                   array: np.ndarray) -> list[np.ndarray]:
+        self._check_group(group, "broadcast")
         with _span("comm.broadcast", category="comm", group=len(group),
                    nbytes=array.nbytes * (len(group) - 1)):
             for j, rank in enumerate(group):
                 if j != root_index:
-                    self.stats.add("broadcast",
-                                   self._locality(group[root_index], rank),
-                                   array.nbytes)
+                    self.transfer("broadcast", group[root_index], rank,
+                                  array.nbytes, payload=array)
         return [array.copy() for _ in group]

@@ -112,14 +112,16 @@ class AerisPipeline:
         self.n_stages = model.config.swin_layers + 2
         self._virtual_clock = None  # end of the last replayed 1F1B timeline
 
-    def _meter(self, stage: int, nbytes: int) -> None:
+    def _meter(self, stage: int, nbytes: int,
+               payload: np.ndarray | None = None) -> None:
+        """Charge a stage-boundary handoff as p2p traffic; routed through
+        the cluster's fault-aware transfer so pipeline activations can
+        experience (and surface) injected faults."""
         if self.cluster is None or self.pp_group is None:
             return
-        src = self.pp_group[stage]
-        dst = self.pp_group[stage + 1]
-        self.cluster.stats.add("p2p", "intra" if self.cluster.node_of(src)
-                               == self.cluster.node_of(dst) else "inter",
-                               nbytes)
+        self.cluster.transfer("p2p", self.pp_group[stage],
+                              self.pp_group[stage + 1], nbytes,
+                              payload=payload)
 
     def forward_backward(self, x_t: np.ndarray, t: np.ndarray,
                          cond: np.ndarray, forc: np.ndarray,
@@ -199,7 +201,8 @@ class AerisPipeline:
             with timer("F", s + 1):
                 inp = Tensor(act.numpy().copy(), requires_grad=True)
                 temb_in = Tensor(t_emb.numpy().copy(), requires_grad=True)
-                self._meter(s, inp.data.nbytes + temb_in.data.nbytes)
+                self._meter(s, inp.data.nbytes + temb_in.data.nbytes,
+                            payload=inp.data)
                 out = layer(inp, temb_in)
             boundary_inputs.append(inp)
             boundary_tembs.append(temb_in)
@@ -209,7 +212,8 @@ class AerisPipeline:
         # boundary (``dec_in`` is the detached boundary tensor).
         with timer("F", self.n_stages - 1):
             dec_in = Tensor(act.numpy().copy(), requires_grad=True)
-            self._meter(self.n_stages - 2, dec_in.data.nbytes)
+            self._meter(self.n_stages - 2, dec_in.data.nbytes,
+                        payload=dec_in.data)
             pred = model.decode_stage(dec_in)
             loss = loss_fn(pred)
         with timer("B", self.n_stages - 1):
@@ -219,7 +223,7 @@ class AerisPipeline:
         grad = dec_in.grad
         for s in range(len(model.layers) - 1, -1, -1):
             with timer("B", s + 1):
-                self._meter(s, grad.nbytes)
+                self._meter(s, grad.nbytes, payload=grad)
                 stage_outputs[s].backward(grad)
                 grad = boundary_inputs[s].grad
         with timer("B", 0):

@@ -57,15 +57,17 @@ class SwipeEngine:
 
     def __init__(self, config: AerisConfig, archive: SyntheticReanalysis,
                  topology: RankTopology, lr: float = 5e-4, seed: int = 0,
-                 flow: TrigFlow = TrigFlow()):
+                 flow: TrigFlow = TrigFlow(), injector=None, retry=None):
         if config.channels != len(TOY_SET):
             raise ValueError("model channels must match the archive")
         self.config = config
         self.archive = archive
         self.topology = topology
         self.flow = flow
+        self.injector = injector
         self.cluster = SimCluster(topology.world_size,
-                                  ranks_per_node=topology.sp)
+                                  ranks_per_node=topology.sp,
+                                  injector=injector, retry=retry)
         # DP replicas start from identical weights (same seed).
         self.replicas = [Aeris(config, seed=seed) for _ in range(topology.dp)]
         self.pipelines = [
@@ -158,6 +160,55 @@ class SwipeEngine:
             registry.gauge("swipe.loss", "last SWiPe step loss").set(
                 mean_loss)
         return mean_loss
+
+    # -- elastic checkpoint payload ---------------------------------------------
+    def state_payload(self) -> tuple[dict[str, dict[str, np.ndarray]], dict]:
+        """``(shards, extra)`` for :func:`write_sharded_checkpoint`.
+
+        Optimizer moments are stored flat in *parameter order* (see
+        :meth:`ZeroOptimizer.state_lists`) so the checkpoint restores into
+        an engine with a different DP degree after an elastic re-grid.
+        """
+        model = dict(self.replicas[0].state_dict())
+        exp_avg, exp_avg_sq = self.zero.state_lists()
+        opt: dict[str, np.ndarray] = {
+            "step_count": np.asarray(self.zero.step_count)}
+        for i, (m, v) in enumerate(zip(exp_avg, exp_avg_sq)):
+            opt[f"m/{i}"] = m
+            opt[f"v/{i}"] = v
+        extra = {
+            "topology": {"dp": self.topology.dp, "pp": self.topology.pp,
+                         "wp_grid": list(self.topology.wp_grid),
+                         "sp": self.topology.sp},
+            "rng_t": [rng.bit_generator.state for rng in self.rngs_t],
+            "rng_z": [rng.bit_generator.state for rng in self.rngs_z],
+        }
+        return {"model": model, "opt": opt}, extra
+
+    def restore(self, shards: dict[str, dict[str, np.ndarray]],
+                extra: dict | None = None) -> None:
+        """Load a :meth:`state_payload` checkpoint into this engine.
+
+        Works across topologies: all replicas get the model weights, the
+        flat optimizer moments re-shard under the current DP degree, and
+        rng states are restored for the replicas that still exist (a
+        degraded grid keeps the surviving replicas' streams bit-exact)."""
+        model_state = shards["model"]
+        for replica in self.replicas:
+            replica.load_state_dict(model_state)
+        opt = shards["opt"]
+        n = len(self.zero.params)
+        exp_avg = [opt[f"m/{i}"] for i in range(n)]
+        exp_avg_sq = [opt[f"v/{i}"] for i in range(n)]
+        self.zero.load_state_lists(exp_avg, exp_avg_sq,
+                                   int(opt["step_count"]))
+        if extra:
+            for d, rng in enumerate(self.rngs_t):
+                if d < len(extra.get("rng_t", [])):
+                    rng.bit_generator.state = extra["rng_t"][d]
+            for d, rng in enumerate(self.rngs_z):
+                if d < len(extra.get("rng_z", [])):
+                    rng.bit_generator.state = extra["rng_z"][d]
 
     # -- analytical per-layer WP/SP communication (paper formula) -------------
     def attention_alltoall_bytes(self, micro_batch: int) -> int:

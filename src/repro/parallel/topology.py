@@ -81,3 +81,41 @@ class RankTopology:
                 for p in range(self.pp)
                 for w in range(self.wp)
                 for s in range(self.sp)]
+
+    # -- elastic re-grid ---------------------------------------------------
+    def degrade(self, dead_ranks) -> "RankTopology":
+        """The surviving-rank topology after fail-stop deaths.
+
+        Policy (in order), mirroring what an elastic launcher would do:
+
+        1. drop every DP replica that contains a dead rank — gradient
+           math is unchanged, throughput shrinks;
+        2. if no replica survives, shed the model-parallel degree that a
+           restart can rebalance: reduce SP by one, then shrink the WP
+           grid (the pipeline depth PP is the model's stage structure and
+           cannot shrink);
+        3. if nothing can be shed, raise
+           :class:`~repro.resilience.ClusterFailure`.
+
+        Rank ids in the returned topology are renumbered 0..world-1; the
+        caller (:class:`~repro.resilience.ElasticSupervisor`) resets the
+        fault injector's grid accordingly.
+        """
+        from ..resilience.faults import ClusterFailure
+        dead = set(dead_ranks)
+        if not dead:
+            return self
+        affected = {self.coords_of(r)[0] for r in dead}
+        surviving_dp = self.dp - len(affected)
+        if surviving_dp >= 1:
+            return RankTopology(surviving_dp, self.pp, self.wp_grid, self.sp)
+        if self.sp > 1:
+            return RankTopology(self.dp, self.pp, self.wp_grid, self.sp - 1)
+        w0, w1 = self.wp_grid
+        if w1 > 1:
+            return RankTopology(self.dp, self.pp, (w0, w1 - 1), self.sp)
+        if w0 > 1:
+            return RankTopology(self.dp, self.pp, (w0 - 1, w1), self.sp)
+        raise ClusterFailure(
+            f"no viable degraded topology: {len(dead)} dead rank(s) in a "
+            f"DP={self.dp}, PP={self.pp}, WP={self.wp}, SP={self.sp} grid")

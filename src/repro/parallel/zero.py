@@ -62,17 +62,51 @@ class ZeroOptimizer:
         """
         for opt in self.shard_optimizers:
             opt.step()
-        # Allgather the updated parameter shards.
+        # Allgather the updated parameter shards (fault-aware: a dead or
+        # faulty DP rank surfaces here too).
         if self.dp > 1:
             for i, p in enumerate(self.params):
                 owner = self.dp_group[self.shard_of[i]]
                 for rank in self.dp_group:
                     if rank != owner:
-                        self.cluster.stats.add(
-                            "allgather",
-                            "intra" if self.cluster.node_of(rank)
-                            == self.cluster.node_of(owner) else "inter",
-                            p.data.nbytes)
+                        self.cluster.transfer("allgather", owner, rank,
+                                              p.data.nbytes, payload=p.data)
+
+    # -- checkpoint access (elastic recovery re-shards on load) ---------------
+    @property
+    def step_count(self) -> int:
+        return self.shard_optimizers[0].step_count
+
+    @step_count.setter
+    def step_count(self, value: int) -> None:
+        for opt in self.shard_optimizers:
+            opt.step_count = int(value)
+
+    def state_lists(self) -> tuple[list, list]:
+        """Adam moments in *parameter order* (flat, shard-independent), so
+        a checkpoint written under one DP degree restores under another —
+        the elastic re-grid changes the sharding, not the state."""
+        positions = [0] * self.dp
+        exp_avg, exp_avg_sq = [], []
+        for i in range(len(self.params)):
+            shard = self.shard_of[i]
+            k = positions[shard]
+            positions[shard] += 1
+            exp_avg.append(self.shard_optimizers[shard].exp_avg[k])
+            exp_avg_sq.append(self.shard_optimizers[shard].exp_avg_sq[k])
+        return exp_avg, exp_avg_sq
+
+    def load_state_lists(self, exp_avg: list, exp_avg_sq: list,
+                         step_count: int) -> None:
+        """Restore flat parameter-ordered moments (in place) + step count."""
+        own_m, own_v = self.state_lists()
+        if len(exp_avg) != len(own_m) or len(exp_avg_sq) != len(own_v):
+            raise ValueError("optimizer state count mismatch")
+        for dst, src in zip(own_m, exp_avg):
+            dst[...] = src
+        for dst, src in zip(own_v, exp_avg_sq):
+            dst[...] = src
+        self.step_count = step_count
 
     # -- accounting ------------------------------------------------------------
     def state_bytes_on(self, shard: int) -> int:

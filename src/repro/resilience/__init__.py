@@ -1,0 +1,55 @@
+"""``repro.resilience`` — fault injection, self-healing, elastic recovery.
+
+The reliability layer the paper's scale implies (10,080 Aurora nodes /
+120,960 tiles — rank failures, stragglers, and corrupted messages are
+routine there, as ORBIT's Frontier runs document):
+
+* :mod:`~repro.resilience.faults` — the fault taxonomy (typed
+  exceptions), :class:`FaultPlan` (seeded schedule of fail-stops, bit
+  flips, drops, stragglers) and :class:`FaultInjector` (applies the plan
+  to the simulated cluster's transfers);
+* :mod:`~repro.resilience.checksum` — per-message / per-array CRC32
+  binding dtype + shape, used by the self-healing collectives and the
+  checkpoint manifest;
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy`: exponential
+  backoff for transient faults (metered, not slept);
+* :mod:`~repro.resilience.supervisor` — :class:`ElasticSupervisor`: runs
+  SWiPe training under a fault plan, autosaves atomic sharded
+  checkpoints, and on :class:`RankFailure` re-grids onto the surviving
+  ranks and resumes from the last valid checkpoint.
+
+Every injected fault, detection, retry, and recovery is booked through
+:mod:`repro.obs`, and :meth:`repro.obs.TraceReport.resilience_check`
+reconciles the injector's tally against the observations.
+
+The supervisor is imported lazily (PEP 562): the low-level comm layer
+imports this package for the taxonomy/checksums, while the supervisor
+sits *above* :mod:`repro.parallel` — lazy loading keeps that layering
+acyclic.
+"""
+
+from .checksum import payload_checksum, verify_payload
+from .faults import (BitFlip, ClusterFailure, CommTimeout, Drop, FailStop,
+                     FaultInjector, FaultPlan, MessageCorruption,
+                     RankFailure, ResilienceError, Straggle)
+from .retry import RetryPolicy
+
+_SUPERVISOR_EXPORTS = ("ElasticSupervisor", "SupervisorConfig")
+
+__all__ = [
+    "payload_checksum", "verify_payload",
+    "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
+    "ClusterFailure",
+    "FailStop", "BitFlip", "Drop", "Straggle",
+    "FaultPlan", "FaultInjector",
+    "RetryPolicy",
+    *_SUPERVISOR_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _SUPERVISOR_EXPORTS or name == "supervisor":
+        import importlib
+        module = importlib.import_module(".supervisor", __name__)
+        return module if name == "supervisor" else getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

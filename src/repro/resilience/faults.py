@@ -1,0 +1,250 @@
+"""Seeded fault injection: the fault taxonomy, the schedule, the injector.
+
+The fault model covers the failure classes a 10,080-node AERIS run (and
+ORBIT's Frontier runs before it) actually meets:
+
+* **fail-stop** — a rank dies at a scheduled step and never comes back;
+  every collective touching it raises :class:`RankFailure` (permanent —
+  the supervisor must re-grid, see :mod:`repro.resilience.supervisor`);
+* **bit flip** — a message payload is corrupted in flight; the per-message
+  checksum (:mod:`repro.resilience.checksum`) detects it and the cluster
+  re-sends (transient — healed by retry, surfaces as
+  :class:`MessageCorruption` only when retries are exhausted);
+* **drop** — a message never arrives; the simulated timeout fires and the
+  cluster re-sends (transient — :class:`CommTimeout` when exhausted);
+* **straggler** — a link delivers late; no data is lost, but the delay is
+  metered so chaos runs expose tail-latency behaviour.
+
+Faults come from a :class:`FaultPlan`: an explicit list of scheduled
+events (deterministic — "the first allreduce transfer of step 3 is
+corrupted") plus optional seeded background rates (statistical chaos).
+Both are driven by one :class:`numpy` generator seeded from the plan, so
+a chaos run is exactly reproducible from ``(plan, workload)``.
+
+The injector addresses ranks in the *current* grid.  After an elastic
+recovery the surviving ranks are renumbered, so the supervisor calls
+:meth:`FaultInjector.reset_grid` to retire consumed fail-stop events and
+clear the dead set.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.profile import metrics as _obs_metrics
+
+__all__ = [
+    "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
+    "ClusterFailure",
+    "FailStop", "BitFlip", "Drop", "Straggle",
+    "FaultPlan", "FaultInjector",
+]
+
+
+# -- taxonomy of typed failures ------------------------------------------------
+class ResilienceError(RuntimeError):
+    """Base class for all injected-fault escalations."""
+
+
+class RankFailure(ResilienceError):
+    """A collective touched a dead rank (fail-stop; permanent)."""
+
+    def __init__(self, rank: int, primitive: str | None = None):
+        self.rank = rank
+        self.primitive = primitive
+        detail = f" (detected in {primitive})" if primitive else ""
+        super().__init__(f"rank {rank} is dead{detail}")
+
+
+class MessageCorruption(ResilienceError):
+    """A payload kept failing checksum verification after all retries."""
+
+
+class CommTimeout(ResilienceError):
+    """A message kept getting dropped after all retries."""
+
+
+class ClusterFailure(ResilienceError):
+    """No viable degraded topology / restart budget exhausted."""
+
+
+# -- scheduled fault events ----------------------------------------------------
+@dataclass(frozen=True)
+class FailStop:
+    """Rank ``rank`` dies permanently at the start of step ``step``."""
+
+    rank: int
+    step: int = 0
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Corrupt the ``nth`` transfer of ``primitive`` ("*" = any) at
+    ``step`` — detected by checksum, healed by retry."""
+
+    step: int = 0
+    primitive: str = "*"
+    nth: int = 0
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Drop the ``nth`` transfer of ``primitive`` at ``step`` — the
+    simulated timeout fires and the message is re-sent."""
+
+    step: int = 0
+    primitive: str = "*"
+    nth: int = 0
+
+
+@dataclass(frozen=True)
+class Straggle:
+    """Deliver the ``nth`` transfer of ``primitive`` at ``step`` late by
+    ``delay_s`` simulated seconds (no data loss)."""
+
+    step: int = 0
+    primitive: str = "*"
+    nth: int = 0
+    delay_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scheduled events plus seeded background fault rates.
+
+    ``p_bitflip`` / ``p_drop`` / ``p_straggle`` are per-transfer-attempt
+    probabilities drawn from one generator seeded with ``seed`` — the
+    statistical half of a chaos run, deterministic per plan.
+    """
+
+    events: tuple = ()
+    seed: int = 0
+    p_bitflip: float = 0.0
+    p_drop: float = 0.0
+    p_straggle: float = 0.0
+    straggle_delay_s: float = 0.02
+
+    @classmethod
+    def chaos(cls, seed: int, p_bitflip: float = 0.01, p_drop: float = 0.01,
+              p_straggle: float = 0.02, events: tuple = ()) -> "FaultPlan":
+        """A background-noise chaos plan (optionally with scheduled events)."""
+        return cls(events=tuple(events), seed=seed, p_bitflip=p_bitflip,
+                   p_drop=p_drop, p_straggle=p_straggle)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a stream of simulated transfers.
+
+    The cluster asks two questions:
+
+    * :meth:`raise_if_dead` — before any collective: is a participant dead?
+    * :meth:`transfer_fault` — per delivery attempt: does this transfer
+      drop, flip, or straggle?
+
+    ``injected`` tallies every fault dealt (per kind), which
+    :meth:`repro.obs.TraceReport.resilience_check` reconciles against the
+    detections the comm layer booked — no fault may go unobserved.
+    """
+
+    def __init__(self, plan: FaultPlan = FaultPlan()):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.step = 0
+        self.dead: set[int] = set()
+        self.injected: dict = defaultdict(int)
+        self._spent_failstops: set = set()
+        self._n: dict = defaultdict(int)  # per-step transfer index by primitive
+        self.advance(0)
+
+    # -- schedule position -------------------------------------------------
+    def advance(self, step: int) -> None:
+        """Move to training step ``step``: reset per-step transfer indices
+        and mark any fail-stops that have come due."""
+        self.step = step
+        self._n.clear()
+        for ev in self.plan.events:
+            if (isinstance(ev, FailStop) and ev not in self._spent_failstops
+                    and ev.step <= step and ev.rank not in self.dead):
+                self.kill(ev.rank)
+
+    def kill(self, rank: int) -> None:
+        """Mark ``rank`` dead (fail-stop) from now on."""
+        if rank not in self.dead:
+            self.dead.add(rank)
+            self._record_injected("failstop")
+
+    def reset_grid(self) -> None:
+        """The supervisor rebuilt the rank grid: survivors are renumbered,
+        so the dead set is cleared and due fail-stop events are retired
+        (future events address the *new* grid)."""
+        for ev in self.plan.events:
+            if isinstance(ev, FailStop) and ev.step <= self.step:
+                self._spent_failstops.add(ev)
+        self.dead.clear()
+
+    # -- cluster-facing queries --------------------------------------------
+    def raise_if_dead(self, ranks, primitive: str | None = None) -> None:
+        for rank in ranks:
+            if rank in self.dead:
+                raise RankFailure(rank, primitive)
+
+    def transfer_fault(self, primitive: str, src: int, dst: int,
+                       attempt: int) -> tuple[str | None, float]:
+        """Fault decision for one delivery attempt.
+
+        Returns ``(fault, straggle_delay_s)`` where ``fault`` is ``None``
+        (clean delivery), ``"flip"`` or ``"drop"``.  Scheduled events only
+        hit the first attempt (so retries heal them); background rates
+        apply to every attempt independently.
+        """
+        fault: str | None = None
+        delay = 0.0
+        plan = self.plan
+        if attempt == 0:
+            idx = {primitive: self._n[primitive], "*": self._n["*"]}
+            self._n[primitive] += 1
+            self._n["*"] += 1
+            for ev in plan.events:
+                if isinstance(ev, FailStop):
+                    continue
+                if ev.step != self.step or ev.primitive not in idx \
+                        or ev.nth != idx[ev.primitive]:
+                    continue
+                if isinstance(ev, Straggle):
+                    delay = max(delay, ev.delay_s)
+                elif fault is None:
+                    fault = "flip" if isinstance(ev, BitFlip) else "drop"
+        if fault is None and plan.p_bitflip \
+                and self.rng.random() < plan.p_bitflip:
+            fault = "flip"
+        if fault is None and plan.p_drop and self.rng.random() < plan.p_drop:
+            fault = "drop"
+        if not delay and plan.p_straggle \
+                and self.rng.random() < plan.p_straggle:
+            delay = plan.straggle_delay_s
+        if fault is not None:
+            self._record_injected(fault)
+        if delay:
+            self._record_injected("straggler")
+        return fault, delay
+
+    def corrupt(self, array: np.ndarray) -> np.ndarray:
+        """A copy of ``array`` with one seeded bit flipped — what the
+        receiver 'gets' when a bit-flip fault fires."""
+        a = np.ascontiguousarray(array)
+        raw = bytearray(a.tobytes())
+        if raw:
+            pos = int(self.rng.integers(len(raw)))
+            raw[pos] ^= 1 << int(self.rng.integers(8))
+        return np.frombuffer(bytes(raw), dtype=a.dtype).reshape(a.shape)
+
+    # -- bookkeeping -------------------------------------------------------
+    def _record_injected(self, kind: str) -> None:
+        self.injected[kind] += 1
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("resilience.faults_injected",
+                             "faults dealt by the injector").inc(1, kind=kind)

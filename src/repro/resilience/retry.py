@@ -1,0 +1,45 @@
+"""Retry policy for transient communication faults.
+
+Transient faults (dropped or corrupted messages) are healed by
+re-transmission with exponential backoff; the backoff waits are *virtual*
+in the simulation — no wall-clock sleeping — but they are metered
+(``comm.backoff_s`` histogram) so chaos runs report the latency a real
+fabric would have paid, mirroring how oneCCL/RCCL surface retransmit
+costs in their counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-send a faulted message, and how long to wait.
+
+    ``backoff_s(attempt)`` is the simulated wait before retry ``attempt``
+    (1-based): ``base * factor**(attempt-1)``, capped at ``max_backoff_s``.
+    """
+
+    max_retries: int = 3
+    base_backoff_s: float = 0.004
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff_s(self, attempt: int) -> float:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_backoff_s * self.backoff_factor ** (attempt - 1),
+                   self.max_backoff_s)
+
+    def schedule(self) -> list[float]:
+        """All backoff waits a fully-retried message would pay, in order."""
+        return [self.backoff_s(a) for a in range(1, self.max_retries + 1)]

@@ -1,0 +1,220 @@
+"""Elastic supervision: SWiPe training that survives injected faults.
+
+The :class:`ElasticSupervisor` is the simulated analogue of the job-level
+restart logic a 10,080-node AERIS run needs: it drives the
+:class:`~repro.parallel.swipe.SwipeEngine` step by step under a
+:class:`~repro.resilience.faults.FaultInjector`, and when a fail-stop
+surfaces as :class:`~repro.resilience.faults.RankFailure` it
+
+1. **re-grids** — :meth:`RankTopology.degrade` drops the DP replicas that
+   contained dead ranks (falling back to shrinking SP, then WP),
+2. **rebuilds** the engine on the surviving-rank topology (the injector's
+   grid is reset: survivors are renumbered),
+3. **reloads** the newest checkpoint that passes integrity verification
+   (:class:`~repro.train.checkpoint.CheckpointCorruption` falls back to
+   the previous one), restoring weights, flat optimizer moments, and the
+   surviving replicas' rng streams,
+4. and **continues** from the checkpointed step.
+
+Transient faults (bit flips, drops, stragglers) never reach the
+supervisor — the comm layer's checksum-verify-retry heals them
+bit-exactly — so a transient-only chaos run reproduces the fault-free
+trajectory exactly.  After an elastic re-grid the batch splits across a
+different DP degree, so the trajectory is close but not bit-identical
+(see DESIGN.md for the tolerance discussion).
+
+Batches are sampled per *step* from ``default_rng([seed, 7777, step])``,
+not from one evolving stream, so a replay after recovery resamples the
+very same batches it would have seen without the failure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import SyntheticReanalysis
+from ..model import AerisConfig
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
+from ..parallel.swipe import SwipeEngine
+from ..parallel.topology import RankTopology
+from ..train.checkpoint import (CheckpointCorruption, list_checkpoints,
+                                read_sharded_checkpoint,
+                                write_sharded_checkpoint)
+from ..train.trainer import evaluate_validation_loss
+from .faults import ClusterFailure, FaultInjector, FaultPlan, RankFailure
+
+__all__ = ["SupervisorConfig", "ElasticSupervisor"]
+
+#: Spawn-key constant separating the batch-sampling stream from every
+#: other seeded stream in the run.
+_BATCH_STREAM = 7777
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for one supervised chaos run."""
+
+    seed: int = 0
+    lr: float = 1e-3
+    global_batch: int = 8
+    gas: int = 2
+    save_every: int = 1
+    checkpoint_root: str = "checkpoints"
+    max_restarts: int = 4
+
+
+class ElasticSupervisor:
+    """Run SWiPe training to completion across injected failures."""
+
+    def __init__(self, model_config: AerisConfig,
+                 archive: SyntheticReanalysis, topology: RankTopology,
+                 config: SupervisorConfig = SupervisorConfig(),
+                 plan: FaultPlan | None = None,
+                 injector: FaultInjector | None = None):
+        self.model_config = model_config
+        self.archive = archive
+        self.topology = topology
+        self.cfg = config
+        if injector is None:
+            injector = FaultInjector(plan if plan is not None else FaultPlan())
+        self.injector = injector
+        self.state_norm = archive.state_normalizer()
+        self.residual_norm = archive.residual_normalizer()
+        self.forcing_norm = archive.forcing_normalizer()
+        self.train_indices = archive.split_indices("train")
+        self.history: list[float] = []
+        self.recoveries: list[dict] = []
+        self.restarts = 0
+        self._build_engine()
+
+    # -- engine lifecycle --------------------------------------------------
+    def _build_engine(self) -> None:
+        if self.cfg.global_batch % self.topology.dp:
+            raise ValueError(
+                f"global batch {self.cfg.global_batch} not divisible by "
+                f"DP={self.topology.dp}")
+        self.engine = SwipeEngine(self.model_config, self.archive,
+                                  self.topology, lr=self.cfg.lr,
+                                  seed=self.cfg.seed, injector=self.injector)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.gauge("resilience.world_size",
+                           "ranks in the current grid").set(
+                self.topology.world_size)
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, n_steps: int) -> dict:
+        """Train for ``n_steps`` completed steps; recover as needed.
+
+        Returns ``{"history", "recoveries", "restarts", "final_step"}``.
+        """
+        while len(self.history) < n_steps:
+            step = len(self.history)
+            self.injector.advance(step)
+            try:
+                loss = self._train_one(step)
+            except RankFailure as failure:
+                self._recover(step, failure)
+                continue
+            self.history.append(loss)
+            done = len(self.history)
+            if self.cfg.save_every and (done % self.cfg.save_every == 0
+                                        or done == n_steps):
+                self._save()
+        return {"history": list(self.history),
+                "recoveries": list(self.recoveries),
+                "restarts": self.restarts,
+                "final_step": len(self.history)}
+
+    def _train_one(self, step: int) -> float:
+        # Per-step generator: a replay after recovery resamples the exact
+        # batch this step would have seen in the fault-free run.
+        rng = np.random.default_rng([self.cfg.seed, _BATCH_STREAM, step])
+        indices = rng.choice(self.train_indices,
+                             size=self.cfg.global_batch, replace=False)
+        cond, residual, forc = self.archive.training_batch(
+            indices, self.state_norm, self.residual_norm, self.forcing_norm)
+        x_t, t, v = self.engine.make_training_pairs(residual)
+        return self.engine.train_step(x_t, t, v, cond, forc,
+                                      gas=self.cfg.gas)
+
+    # -- checkpointing -----------------------------------------------------
+    def _checkpoint_dir(self, step: int) -> str:
+        return os.path.join(self.cfg.checkpoint_root, f"step-{step:08d}")
+
+    def _save(self) -> str:
+        shards, engine_extra = self.engine.state_payload()
+        extra = {"step": len(self.history),
+                 "history": list(self.history),
+                 "engine": engine_extra}
+        path = write_sharded_checkpoint(
+            self._checkpoint_dir(len(self.history)), shards, extra=extra)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("resilience.checkpoints",
+                             "sharded checkpoints written").inc()
+        return path
+
+    def _restore_latest(self) -> str | None:
+        """Load the newest checkpoint that verifies; corrupt ones fall
+        back to the previous.  Returns the directory used (``None`` means
+        restart from scratch)."""
+        registry = _obs_metrics()
+        for directory in reversed(list_checkpoints(self.cfg.checkpoint_root)):
+            try:
+                shards, extra = read_sharded_checkpoint(directory)
+            except CheckpointCorruption:
+                if registry is not None:
+                    registry.counter(
+                        "resilience.checkpoints_rejected",
+                        "checkpoints failing integrity checks").inc()
+                continue
+            self.engine.restore(shards, extra.get("engine"))
+            self.history = [float(x) for x in extra.get("history", [])]
+            return directory
+        self.history = []  # no valid checkpoint: from-scratch restart
+        return None
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self, step: int, failure: RankFailure) -> None:
+        self.restarts += 1
+        if self.restarts > self.cfg.max_restarts:
+            raise ClusterFailure(
+                f"restart budget exhausted ({self.cfg.max_restarts}) at "
+                f"step {step}") from failure
+        dead = sorted(self.injector.dead)
+        old = self.topology
+        with _span("resilience.recovery", category="resilience", step=step,
+                   dead_ranks=str(dead), old_world=old.world_size):
+            self.topology = old.degrade(dead)
+            self.injector.reset_grid()
+            self._build_engine()
+            restored_from = self._restore_latest()
+        record = {"step": step, "dead_ranks": dead,
+                  "world_size": [old.world_size, self.topology.world_size],
+                  "dp": [old.dp, self.topology.dp],
+                  "resumed_at_step": len(self.history),
+                  "restored_from": restored_from}
+        self.recoveries.append(record)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("resilience.recoveries",
+                             "elastic re-grid recoveries").inc()
+            registry.counter("resilience.dead_ranks",
+                             "fail-stopped ranks handled").inc(len(dead))
+
+    # -- evaluation --------------------------------------------------------
+    def validation_loss(self, batch_size: int = 8, n_batches: int = 2,
+                        seed: int = 1234) -> float:
+        """Fixed-seed held-out loss — directly comparable across faulted
+        and fault-free runs (same evaluator as the reference trainer)."""
+        engine = self.engine
+        return evaluate_validation_loss(
+            engine.replicas[0], self.archive, engine.flow,
+            engine.lat_weights, engine.var_weights, self.state_norm,
+            self.residual_norm, self.forcing_norm, batch_size=batch_size,
+            n_batches=n_batches, seed=seed)

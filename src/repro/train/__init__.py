@@ -1,8 +1,17 @@
-"""Training: reference single-process loop and checkpointing."""
+"""Training: reference single-process loop and (atomic, resumable)
+checkpointing."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (CheckpointCorruption, CheckpointError,
+                         list_checkpoints, load_checkpoint,
+                         load_sharded_checkpoint, read_sharded_checkpoint,
+                         save_checkpoint, save_sharded_checkpoint,
+                         write_sharded_checkpoint)
 from .finetune import MultistepConfig, MultistepFinetuner
-from .trainer import Trainer, TrainerConfig
+from .trainer import Trainer, TrainerConfig, evaluate_validation_loss
 
 __all__ = ["Trainer", "TrainerConfig", "save_checkpoint", "load_checkpoint",
+           "CheckpointError", "CheckpointCorruption",
+           "save_sharded_checkpoint", "load_sharded_checkpoint",
+           "write_sharded_checkpoint", "read_sharded_checkpoint",
+           "list_checkpoints", "evaluate_validation_loss",
            "MultistepFinetuner", "MultistepConfig"]

@@ -1,18 +1,84 @@
-"""Checkpointing: model weights, optimizer state, and EMA shadow weights."""
+"""Checkpointing: model weights, optimizer state, and EMA shadow weights.
+
+Two formats, both crash-safe:
+
+* **single-file** (:func:`save_checkpoint` / :func:`load_checkpoint`) —
+  one ``.npz`` archive, written atomically (temp file + fsync +
+  ``os.replace``) so a crash mid-save can never leave a torn file where a
+  good checkpoint used to be;
+* **sharded** (:func:`save_sharded_checkpoint` /
+  :func:`load_sharded_checkpoint`, or the lower-level
+  :func:`write_sharded_checkpoint` / :func:`read_sharded_checkpoint`) — a
+  directory of per-group ``.npz`` shards plus a ``manifest.json``
+  carrying a CRC32 per array.  The directory is staged under a temp name
+  and atomically renamed into place; loads verify every array against the
+  manifest and raise :class:`CheckpointCorruption` on any mismatch, which
+  the elastic supervisor treats as "fall back to the previous
+  checkpoint".
+
+Typed errors: :class:`CheckpointError` for structural problems (missing
+file, a model-only checkpoint loaded with ``optimizer=``/``ema=``),
+:class:`CheckpointCorruption` (a subclass) for integrity failures.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+import shutil
 
 import numpy as np
 
 from ..nn import EMA, AdamW, Module
+from ..resilience.checksum import payload_checksum
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError", "CheckpointCorruption", "MANIFEST_NAME",
+    "save_checkpoint", "load_checkpoint",
+    "write_sharded_checkpoint", "read_sharded_checkpoint",
+    "save_sharded_checkpoint", "load_sharded_checkpoint",
+    "list_checkpoints",
+]
+
+MANIFEST_NAME = "manifest.json"
 
 
-def save_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
-                    ema: EMA | None = None, images_seen: float = 0.0) -> None:
-    """Serialize training state to a single ``.npz`` file."""
-    payload: dict[str, np.ndarray] = {"meta/images_seen": np.asarray(images_seen)}
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, incomplete, or structurally wrong."""
+
+
+class CheckpointCorruption(CheckpointError):
+    """A checkpoint failed integrity verification (checksum / unreadable)."""
+
+
+def _normalize_npz(path: str) -> str:
+    """``np.savez`` appends ``.npz`` implicitly; normalize explicitly so
+    ``save_checkpoint(p)`` / ``load_checkpoint(p)`` round-trip for any
+    spelling of ``p``."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _write_npz_atomic(path: str, payload: dict) -> None:
+    """Write ``payload`` to ``path``: temp file in the same directory,
+    fsync, then ``os.replace`` (atomic on POSIX)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+
+
+def _training_payload(model: Module, optimizer: AdamW | None,
+                      ema: EMA | None, images_seen: float
+                      ) -> dict[str, np.ndarray]:
+    payload: dict[str, np.ndarray] = {
+        "meta/images_seen": np.asarray(images_seen)}
     for name, array in model.state_dict().items():
         payload[f"model/{name}"] = array
     if optimizer is not None:
@@ -24,22 +90,187 @@ def save_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
     if ema is not None:
         for name, array in ema.state_dict().items():
             payload[f"ema/{name}"] = array
-    np.savez(path, **payload)
+    return payload
+
+
+def _restore_training_state(data, where: str, model: Module,
+                            optimizer: AdamW | None, ema: EMA | None
+                            ) -> float:
+    """Shared restore logic for both formats; ``data`` is any mapping of
+    flat ``section/name`` keys to arrays with a ``files``-like key view."""
+    keys = set(data)
+    model.load_state_dict({
+        name[len("model/"):]: data[name]
+        for name in keys if name.startswith("model/")})
+    if optimizer is not None:
+        if "opt/step_count" not in keys:
+            raise CheckpointError(
+                f"checkpoint {where} has no optimizer state (it was saved "
+                "model-only, or with an older format) — pass optimizer=None "
+                "or re-save with the optimizer included")
+        optimizer.step_count = int(data["opt/step_count"])
+        for i in range(len(optimizer.exp_avg)):
+            if f"opt/m/{i}" not in keys or f"opt/v/{i}" not in keys:
+                raise CheckpointError(
+                    f"checkpoint {where} optimizer state is incomplete "
+                    f"(missing moments for parameter {i})")
+            optimizer.exp_avg[i][...] = data[f"opt/m/{i}"]
+            optimizer.exp_avg_sq[i][...] = data[f"opt/v/{i}"]
+    if ema is not None:
+        missing = [name for name in ema.shadow
+                   if f"ema/{name}" not in keys]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint {where} has no EMA state for "
+                f"{missing[0]!r}{' (and others)' if len(missing) > 1 else ''}"
+                " — pass ema=None or re-save with the EMA included")
+        for name in list(ema.shadow):
+            ema.shadow[name][...] = data[f"ema/{name}"]
+    return float(data["meta/images_seen"])
+
+
+# -- single-file format --------------------------------------------------------
+def save_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
+                    ema: EMA | None = None, images_seen: float = 0.0) -> str:
+    """Serialize training state to a single ``.npz`` file, atomically.
+
+    Returns the (suffix-normalized) path actually written.
+    """
+    path = _normalize_npz(path)
+    _write_npz_atomic(path,
+                      _training_payload(model, optimizer, ema, images_seen))
+    return path
 
 
 def load_checkpoint(path: str, model: Module, optimizer: AdamW | None = None,
                     ema: EMA | None = None) -> float:
     """Restore training state; returns ``images_seen``."""
+    path = _normalize_npz(path)
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path}")
     with np.load(path) as data:
-        model.load_state_dict({
-            name[len("model/"):]: data[name]
-            for name in data.files if name.startswith("model/")})
-        if optimizer is not None:
-            optimizer.step_count = int(data["opt/step_count"])
-            for i in range(len(optimizer.exp_avg)):
-                optimizer.exp_avg[i][...] = data[f"opt/m/{i}"]
-                optimizer.exp_avg_sq[i][...] = data[f"opt/v/{i}"]
-        if ema is not None:
-            for name in list(ema.shadow):
-                ema.shadow[name][...] = data[f"ema/{name}"]
-        return float(data["meta/images_seen"])
+        return _restore_training_state(
+            {name: data[name] for name in data.files}, path, model,
+            optimizer, ema)
+
+
+# -- sharded format (manifest + per-array checksums) ---------------------------
+def write_sharded_checkpoint(directory: str,
+                             shards: dict[str, dict[str, np.ndarray]],
+                             extra: dict | None = None) -> str:
+    """Write shard groups (``{shard_name: {array_name: array}}``) plus a
+    manifest with per-array CRC32s; the whole directory appears
+    atomically (staged as ``<directory>.tmp.<pid>``, then renamed).
+
+    ``extra`` must be JSON-serializable; it rides in the manifest (used
+    for rng states, step counters, topology descriptors).
+    """
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{directory}.tmp.{os.getpid()}"
+    manifest = {"format": 1, "extra": extra or {}, "shards": {}}
+    try:
+        os.makedirs(tmp)
+        for shard_name, arrays in shards.items():
+            fname = f"{shard_name}.npz"
+            with open(os.path.join(tmp, fname), "wb") as fh:
+                np.savez(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            manifest["shards"][fname] = {
+                "arrays": {name: payload_checksum(array)
+                           for name, array in arrays.items()}}
+        with open(os.path.join(tmp, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.isdir(directory):
+            shutil.rmtree(directory)
+        os.replace(tmp, directory)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return directory
+
+
+def read_sharded_checkpoint(directory: str, verify: bool = True
+                            ) -> tuple[dict[str, dict[str, np.ndarray]],
+                                       dict]:
+    """Load every shard, verifying each array against the manifest.
+
+    Returns ``(shards, extra)``.  Raises :class:`CheckpointError` if the
+    directory/manifest is absent and :class:`CheckpointCorruption` if a
+    shard is unreadable, an array is missing, or a checksum mismatches.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(manifest_path):
+        raise CheckpointError(f"no sharded checkpoint at {directory} "
+                              f"(missing {MANIFEST_NAME})")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    shards: dict[str, dict[str, np.ndarray]] = {}
+    for fname, entry in manifest["shards"].items():
+        fpath = os.path.join(directory, fname)
+        try:
+            with np.load(fpath) as data:
+                arrays = {name: data[name] for name in data.files}
+        except Exception as exc:
+            raise CheckpointCorruption(
+                f"{directory}: shard {fname} unreadable: {exc}") from exc
+        if verify:
+            for name, expected in entry["arrays"].items():
+                if name not in arrays:
+                    raise CheckpointCorruption(
+                        f"{directory}: shard {fname} lost array {name!r}")
+                if payload_checksum(arrays[name]) != expected:
+                    raise CheckpointCorruption(
+                        f"{directory}: checksum mismatch for "
+                        f"{fname}:{name}")
+        shards[fname[:-len(".npz")]] = arrays
+    return shards, manifest.get("extra", {})
+
+
+def list_checkpoints(root: str) -> list[str]:
+    """Sharded checkpoint directories under ``root``, oldest first (by
+    name — the supervisor names them ``step-<n>``, zero-padded)."""
+    if not os.path.isdir(root):
+        return []
+    return [os.path.join(root, name) for name in sorted(os.listdir(root))
+            if os.path.isfile(os.path.join(root, name, MANIFEST_NAME))]
+
+
+def save_sharded_checkpoint(directory: str, model: Module,
+                            optimizer: AdamW | None = None,
+                            ema: EMA | None = None,
+                            images_seen: float = 0.0,
+                            extra: dict | None = None) -> str:
+    """High-level sharded save mirroring :func:`save_checkpoint`'s API."""
+    flat = _training_payload(model, optimizer, ema, images_seen)
+    shards: dict[str, dict[str, np.ndarray]] = {}
+    for key, array in flat.items():
+        section, _, rest = key.partition("/")
+        shards.setdefault(section, {})[rest] = array
+    return write_sharded_checkpoint(directory, shards, extra=extra)
+
+
+def load_sharded_checkpoint(directory: str, model: Module,
+                            optimizer: AdamW | None = None,
+                            ema: EMA | None = None, verify: bool = True
+                            ) -> tuple[float, dict]:
+    """High-level sharded load; returns ``(images_seen, extra)``."""
+    shards, extra = read_sharded_checkpoint(directory, verify=verify)
+    flat = {f"{section}/{name}": array
+            for section, arrays in shards.items()
+            for name, array in arrays.items()}
+    if optimizer is not None and "opt" not in shards:
+        raise CheckpointError(
+            f"checkpoint {directory} has no optimizer shard — pass "
+            "optimizer=None or re-save with the optimizer included")
+    if ema is not None and "ema" not in shards:
+        raise CheckpointError(
+            f"checkpoint {directory} has no EMA shard — pass ema=None or "
+            "re-save with the EMA included")
+    images = _restore_training_state(flat, directory, model, optimizer, ema)
+    return images, extra

@@ -6,10 +6,25 @@ Follows Section VI-B: TrigFlow objective on standardized residuals with
 latitude/pressure weighting, AdamW (betas [0.85, 0.9], wd 0.01), warmup →
 constant → linear-decay LR measured in images, and an EMA of parameters used
 at inference.
+
+Resilience (:mod:`repro.resilience`): the loop survives an interrupted
+run and a poisoned step —
+
+* :meth:`Trainer.save` / :meth:`Trainer.load` write/restore an atomic
+  sharded checkpoint (manifest + per-array checksums) that also carries
+  the data/noise generator states, so a resumed run continues
+  **bit-exactly** where the original would have gone;
+* ``fit(..., save_every=k)`` autosaves every ``k`` steps under
+  ``checkpoint_root``;
+* a NaN/Inf guard skips the optimizer/EMA update when a step's loss goes
+  non-finite and multiplicatively backs off the learning rate
+  (recovering after a run of clean steps) — the standard large-run
+  defence against one poisoned batch destroying the weights.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,8 +41,9 @@ from ..nn import EMA, AdamW, WarmupConstantDecay
 from ..obs.profile import metrics as _obs_metrics
 from ..obs.profile import span as _span
 from ..tensor import Tensor
+from .checkpoint import load_sharded_checkpoint, save_sharded_checkpoint
 
-__all__ = ["TrainerConfig", "Trainer"]
+__all__ = ["TrainerConfig", "Trainer", "evaluate_validation_loss"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +59,14 @@ class TrainerConfig:
     weight_decay: float = 0.01
     betas: tuple[float, float] = (0.85, 0.9)
     seed: int = 0
+    #: autosave a sharded checkpoint every N steps during ``fit`` (0 = off).
+    save_every: int = 0
+    #: where autosaved checkpoints go (``step-<n>`` subdirectories).
+    checkpoint_root: str | None = None
+    #: LR multiplier applied after a non-finite (skipped) step ...
+    lr_backoff_factor: float = 0.5
+    #: ... recovered one factor at a time after this many clean steps.
+    lr_recover_steps: int = 25
 
 
 class Trainer:
@@ -75,6 +99,11 @@ class Trainer:
         self.rng_t = np.random.default_rng(config.seed + 1)
         self.rng_z = np.random.default_rng(config.seed + 2)
         self.history: list[float] = []
+        # NaN/Inf-guard state: 1.0 while healthy, multiplied by
+        # lr_backoff_factor per poisoned step, recovered gradually.
+        self.lr_backoff = 1.0
+        self.skipped_steps = 0
+        self._clean_streak = 0
 
     # -- one optimization step ------------------------------------------------
     def train_step(self) -> float:
@@ -98,15 +127,51 @@ class Trainer:
                     self.lat_weights, self.var_weights)
             with _span("train.backward", category="train"):
                 loss.backward()
-            with _span("train.optimizer", category="train"):
-                self.optimizer.lr = self.schedule.lr_at(self.images_seen)
-                self.optimizer.step()
-                self.images_seen += cfg.batch_size
-                self.ema.update(self.model, images_per_step=cfg.batch_size)
             value = loss.item()
+            if not np.isfinite(value):
+                # Poisoned step: skip the update entirely (no optimizer
+                # step, no EMA blend, no images consumed) and back the LR
+                # off so a marginal-stability run eases away from the edge.
+                self._skip_poisoned_step(value)
+            else:
+                with _span("train.optimizer", category="train"):
+                    self.optimizer.lr = (
+                        self.schedule.lr_at(self.images_seen)
+                        * self.lr_backoff)
+                    self.optimizer.step()
+                    self.images_seen += cfg.batch_size
+                    self.ema.update(self.model,
+                                    images_per_step=cfg.batch_size)
+                self._recover_lr_backoff()
         self.history.append(value)
         self._record_step_metrics(value)
         return value
+
+    # -- NaN/Inf guard --------------------------------------------------------
+    def _skip_poisoned_step(self, value: float) -> None:
+        cfg = self.config
+        self.skipped_steps += 1
+        self._clean_streak = 0
+        self.lr_backoff *= cfg.lr_backoff_factor
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("train.skipped_steps",
+                             "updates skipped by the NaN/Inf guard").inc()
+            registry.gauge("train.lr_backoff",
+                           "NaN-guard LR multiplier").set(self.lr_backoff)
+        with _span("resilience.nonfinite_loss", category="resilience",
+                   loss=repr(value), lr_backoff=self.lr_backoff):
+            pass
+
+    def _recover_lr_backoff(self) -> None:
+        if self.lr_backoff >= 1.0:
+            return
+        cfg = self.config
+        self._clean_streak += 1
+        if self._clean_streak >= cfg.lr_recover_steps:
+            self._clean_streak = 0
+            self.lr_backoff = min(1.0,
+                                  self.lr_backoff / cfg.lr_backoff_factor)
 
     def _record_step_metrics(self, loss_value: float) -> None:
         """Per-step telemetry (loss / LR / grad norm / EMA decay).  The
@@ -136,10 +201,66 @@ class Trainer:
                            buckets=(0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
                                     100.0)).observe(loss_value)
 
-    def fit(self, n_steps: int) -> list[float]:
+    def fit(self, n_steps: int, save_every: int | None = None,
+            checkpoint_root: str | None = None) -> list[float]:
+        """Run ``n_steps``; optionally autosave a sharded checkpoint every
+        ``save_every`` steps (defaults from the config) into
+        ``checkpoint_root/step-<n>``."""
+        save_every = self.config.save_every if save_every is None \
+            else save_every
+        checkpoint_root = self.config.checkpoint_root \
+            if checkpoint_root is None else checkpoint_root
         for _ in range(n_steps):
             self.train_step()
+            if save_every and checkpoint_root \
+                    and len(self.history) % save_every == 0:
+                self.save(os.path.join(checkpoint_root,
+                                       f"step-{len(self.history):08d}"))
         return self.history
+
+    # -- checkpoint / resume ---------------------------------------------------
+    def save(self, directory: str) -> str:
+        """Atomic sharded checkpoint of the *complete* loop state — weights,
+        optimizer, EMA, counters, NaN-guard state, and all three generator
+        states — so :meth:`load` + ``fit`` replays bit-exactly."""
+        extra = {
+            "step": len(self.history),
+            "history": [float(v) for v in self.history],
+            "lr_backoff": self.lr_backoff,
+            "skipped_steps": self.skipped_steps,
+            "clean_streak": self._clean_streak,
+            "rng": {
+                "batch": self.rng_batch.bit_generator.state,
+                "t": self.rng_t.bit_generator.state,
+                "z": self.rng_z.bit_generator.state,
+            },
+        }
+        path = save_sharded_checkpoint(directory, self.model, self.optimizer,
+                                       self.ema,
+                                       images_seen=self.images_seen,
+                                       extra=extra)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("train.checkpoints",
+                             "sharded checkpoints written").inc()
+        return path
+
+    def load(self, directory: str) -> float:
+        """Restore a :meth:`save` checkpoint (checksum-verified); returns
+        ``images_seen``."""
+        images, extra = load_sharded_checkpoint(directory, self.model,
+                                                self.optimizer, self.ema)
+        self.images_seen = images
+        self.history = [float(v) for v in extra.get("history", [])]
+        self.lr_backoff = float(extra.get("lr_backoff", 1.0))
+        self.skipped_steps = int(extra.get("skipped_steps", 0))
+        self._clean_streak = int(extra.get("clean_streak", 0))
+        rng = extra.get("rng")
+        if rng is not None:
+            self.rng_batch.bit_generator.state = rng["batch"]
+            self.rng_t.bit_generator.state = rng["t"]
+            self.rng_z.bit_generator.state = rng["z"]
+        return images
 
     def validation_loss(self, n_batches: int = 4, seed: int = 1234) -> float:
         """Mean weighted diffusion loss over held-out validation samples.
@@ -147,29 +268,11 @@ class Trainer:
         Uses fixed generators so successive calls are comparable (the same
         noise levels and noise fields are drawn each time).
         """
-        rng_batch = np.random.default_rng(seed)
-        rng_t = np.random.default_rng(seed + 1)
-        rng_z = np.random.default_rng(seed + 2)
-        indices_pool = self.archive.split_indices("val")
-        losses = []
-        from ..tensor import no_grad
-        for _ in range(n_batches):
-            indices = rng_batch.choice(indices_pool,
-                                       size=self.config.batch_size,
-                                       replace=False)
-            cond, residual, forc = self.archive.training_batch(
-                indices, self.state_norm, self.residual_norm,
-                self.forcing_norm)
-            x_t, t, v_target = self.flow.training_pair(residual, rng_t, rng_z)
-            with _span("train.validation_batch", category="train"), \
-                    no_grad():
-                pred = self.model(Tensor(x_t / self.flow.sigma_d), Tensor(t),
-                                  Tensor(cond), Tensor(forc))
-                loss = weighted_velocity_loss(
-                    pred * self.flow.sigma_d, v_target, self.lat_weights,
-                    self.var_weights)
-            losses.append(loss.item())
-        mean = float(np.mean(losses))
+        mean = evaluate_validation_loss(
+            self.model, self.archive, self.flow, self.lat_weights,
+            self.var_weights, self.state_norm, self.residual_norm,
+            self.forcing_norm, batch_size=self.config.batch_size,
+            n_batches=n_batches, seed=seed)
         registry = _obs_metrics()
         if registry is not None:
             registry.gauge("train.val_loss", "last validation loss").set(mean)
@@ -194,3 +297,37 @@ class Trainer:
             forcing_norm=self.forcing_norm,
             flow=self.flow,
             solver_config=solver_config)
+
+
+def evaluate_validation_loss(model: Aeris, archive: SyntheticReanalysis,
+                             flow: TrigFlow, lat_weights: np.ndarray,
+                             var_weights: np.ndarray, state_norm,
+                             residual_norm, forcing_norm,
+                             batch_size: int = 8, n_batches: int = 4,
+                             seed: int = 1234) -> float:
+    """Mean weighted diffusion loss over held-out validation samples.
+
+    Standalone so both the reference :class:`Trainer` and the elastic
+    supervisor (:mod:`repro.resilience.supervisor`) score models with the
+    *same* fixed-seed evaluation — that is what chaos tests compare
+    between faulted and fault-free runs.
+    """
+    from ..tensor import no_grad
+    rng_batch = np.random.default_rng(seed)
+    rng_t = np.random.default_rng(seed + 1)
+    rng_z = np.random.default_rng(seed + 2)
+    indices_pool = archive.split_indices("val")
+    losses = []
+    for _ in range(n_batches):
+        indices = rng_batch.choice(indices_pool, size=batch_size,
+                                   replace=False)
+        cond, residual, forc = archive.training_batch(
+            indices, state_norm, residual_norm, forcing_norm)
+        x_t, t, v_target = flow.training_pair(residual, rng_t, rng_z)
+        with _span("train.validation_batch", category="train"), no_grad():
+            pred = model(Tensor(x_t / flow.sigma_d), Tensor(t),
+                         Tensor(cond), Tensor(forc))
+            loss = weighted_velocity_loss(
+                pred * flow.sigma_d, v_target, lat_weights, var_weights)
+        losses.append(loss.item())
+    return float(np.mean(losses))

@@ -1,11 +1,14 @@
 """Byte-accounting coverage for the remaining collectives
 (``reduce_scatter`` / ``broadcast``), the per-hop ring locality
-attribution of ``allreduce``, and the ``CommStats`` helpers."""
+attribution of ``allreduce``, retry traffic under injected faults, and
+the ``CommStats`` helpers."""
 
 import numpy as np
 import pytest
 
+from repro.obs import observed
 from repro.parallel import CommStats, SimCluster
+from repro.resilience import BitFlip, Drop, FaultInjector, FaultPlan
 
 
 def _chunks(n, size=4):
@@ -100,6 +103,51 @@ class TestAllreduceRingLocality:
         arrays = [np.zeros(10, dtype=np.float32) for _ in range(4)]
         cluster.allreduce([0, 2, 1, 3], arrays)
         assert cluster.stats.total_bytes("allreduce", "intra") == 0
+
+
+class TestRetryByteAccounting:
+    """Retries are real fabric traffic: every re-sent attempt books its
+    bytes again in ``CommStats``, alongside a retry counter in the
+    metrics registry."""
+
+    def test_retried_allreduce_books_extra_bytes(self):
+        arrays = [np.zeros(100, dtype=np.float32) for _ in range(4)]
+        clean = SimCluster(4)
+        clean.allreduce([0, 1, 2, 3], arrays)
+        base = clean.stats.total_bytes("allreduce")
+        per_hop = int(2 * 3 / 4 * 400)
+
+        inj = FaultInjector(FaultPlan(
+            events=(BitFlip(step=0, primitive="allreduce", nth=2),)))
+        faulty = SimCluster(4, injector=inj)
+        with observed() as (_, registry):
+            faulty.allreduce([0, 1, 2, 3], arrays)
+            assert faulty.stats.total_bytes("allreduce") == base + per_hop
+            assert registry.counter("comm.retries").total(
+                primitive="allreduce") == 1
+            # The registry's byte counter agrees with CommStats, retries
+            # included.
+            assert registry.counter("comm.bytes").total(
+                primitive="allreduce") == base + per_hop
+
+    def test_retried_p2p_books_extra_bytes(self):
+        payload = np.zeros(64, dtype=np.float32)  # 256 B
+        inj = FaultInjector(FaultPlan(
+            events=(Drop(step=0, primitive="p2p", nth=0),
+                    Drop(step=0, primitive="p2p", nth=1))))
+        cluster = SimCluster(2, injector=inj)
+        cluster.send(0, 1, payload)   # dropped once -> 2 attempts
+        cluster.send(1, 0, payload)   # dropped once -> 2 attempts
+        assert cluster.stats.total_bytes("p2p") == 4 * 256
+
+    def test_ops_count_attempts(self):
+        payload = np.zeros(4, dtype=np.float32)
+        inj = FaultInjector(FaultPlan(
+            events=(Drop(step=0, primitive="p2p", nth=0),)))
+        cluster = SimCluster(2, injector=inj)
+        cluster.send(0, 1, payload)
+        assert sum(cluster.stats.ops[k] for k in cluster.stats.ops
+                   if k[0] == "p2p") == 2
 
 
 class TestCommStatsHelpers:

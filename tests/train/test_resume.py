@@ -1,0 +1,125 @@
+"""Resume semantics: bit-exact continuation from an atomic checkpoint,
+suffix normalization, clear load errors, and the NaN/Inf step guard."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.model import Aeris
+from repro.train import (
+    CheckpointError,
+    Trainer,
+    TrainerConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from tests.train.test_trainer import TINY16
+
+CFG = TrainerConfig(batch_size=4, peak_lr=3e-3, warmup_images=40,
+                    total_images=40_000, decay_images=400, seed=0)
+
+
+def _trainer(tiny_archive, seed=0):
+    return Trainer(Aeris(TINY16, seed=seed), tiny_archive, CFG)
+
+
+class TestBitExactResume:
+    def test_resumed_run_matches_uninterrupted(self, tmp_path,
+                                               tiny_archive):
+        """fit(3) + save + load-into-fresh-trainer + fit(2) must equal
+        fit(5) straight through — same losses, same weights, same EMA."""
+        straight = _trainer(tiny_archive)
+        straight.fit(5)
+
+        first = _trainer(tiny_archive)
+        first.fit(3)
+        where = first.save(str(tmp_path / "ck"))
+
+        resumed = _trainer(tiny_archive, seed=99)  # different init
+        resumed.load(where)
+        assert resumed.images_seen == 3 * CFG.batch_size
+        assert resumed.history == first.history
+        resumed.fit(2)
+
+        assert resumed.history == straight.history
+        for name, p in straight.model.named_parameters():
+            np.testing.assert_array_equal(
+                dict(resumed.model.named_parameters())[name].data, p.data,
+                err_msg=name)
+        for name in straight.ema.shadow:
+            np.testing.assert_array_equal(resumed.ema.shadow[name],
+                                          straight.ema.shadow[name],
+                                          err_msg=f"ema/{name}")
+
+    def test_autosave_during_fit(self, tmp_path, tiny_archive):
+        trainer = _trainer(tiny_archive)
+        trainer.fit(4, save_every=2, checkpoint_root=str(tmp_path))
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["step-00000002", "step-00000004"]
+
+
+class TestSingleFileCheckpoint:
+    def test_suffix_normalized_roundtrip(self, tmp_path, tiny_archive):
+        """``np.savez`` appends ``.npz`` implicitly; save/load must agree
+        on the final name for any input spelling."""
+        trainer = _trainer(tiny_archive)
+        bare = str(tmp_path / "weights")
+        written = save_checkpoint(bare, trainer.model)
+        assert written == bare + ".npz"
+        assert os.path.exists(written)
+        # Loading via either spelling works.
+        load_checkpoint(bare, Aeris(TINY16))
+        load_checkpoint(written, Aeris(TINY16))
+
+    def test_no_temp_leftovers(self, tmp_path, tiny_archive):
+        trainer = _trainer(tiny_archive)
+        save_checkpoint(str(tmp_path / "ck.npz"), trainer.model)
+        assert [p for p in os.listdir(tmp_path) if ".tmp." in p] == []
+
+    def test_missing_file_is_clear_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(str(tmp_path / "absent.npz"), Aeris(TINY16))
+
+    def test_model_only_checkpoint_rejects_optimizer_load(self, tmp_path,
+                                                          tiny_archive):
+        """A model-only file loaded with ``optimizer=`` must raise a
+        descriptive :class:`CheckpointError`, not a ``KeyError``."""
+        trainer = _trainer(tiny_archive)
+        where = save_checkpoint(str(tmp_path / "ck"), trainer.model)
+        fresh = _trainer(tiny_archive)
+        with pytest.raises(CheckpointError, match="optimizer"):
+            load_checkpoint(where, fresh.model, optimizer=fresh.optimizer)
+        with pytest.raises(CheckpointError, match="EMA"):
+            load_checkpoint(where, fresh.model, ema=fresh.ema)
+
+
+class TestNaNGuard:
+    def test_poisoned_step_skipped_and_lr_backed_off(self, tiny_archive):
+        trainer = _trainer(tiny_archive)
+        trainer.fit(2)
+        images_before = trainer.images_seen
+        weights_before = {n: p.data.copy()
+                          for n, p in trainer.model.named_parameters()}
+        # Poison the model: the next loss goes non-finite.
+        first = next(iter(trainer.model.parameters()))
+        saved = first.data.copy()
+        first.data[...] = np.nan
+        value = trainer.train_step()
+        assert not np.isfinite(value)
+        assert trainer.skipped_steps == 1
+        assert trainer.lr_backoff == CFG.lr_backoff_factor
+        assert trainer.images_seen == images_before  # no images consumed
+        first.data[...] = saved
+        for name, p in trainer.model.named_parameters():
+            np.testing.assert_array_equal(p.data, weights_before[name],
+                                          err_msg=name)
+
+    def test_backoff_recovers_after_clean_streak(self, tiny_archive):
+        cfg = TrainerConfig(batch_size=4, peak_lr=3e-3, warmup_images=40,
+                            total_images=40_000, decay_images=400, seed=0,
+                            lr_recover_steps=3)
+        trainer = Trainer(Aeris(TINY16, seed=0), tiny_archive, cfg)
+        trainer.lr_backoff = 0.5
+        trainer.fit(3)
+        assert trainer.lr_backoff == 1.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Lint: no bare ``except:`` clauses in ``src/repro/``.
+
+A bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and —
+worse for a resilience layer — silently eats the *typed* fault
+escalations (:class:`RankFailure`, :class:`MessageCorruption`, ...) that
+the supervisor's recovery logic dispatches on.  Catch a concrete
+exception type, or ``BaseException`` with a re-raise where cleanup code
+genuinely must intercept everything.
+
+Token-based, so strings and comments mentioning ``except:`` are fine.
+Exits non-zero listing offending ``file:line`` locations.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+import tokenize
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def bare_excepts(path: str) -> list[int]:
+    """Line numbers of bare ``except:`` clauses (NAME 'except' followed
+    immediately by ``:``) in one file."""
+    with open(path, "rb") as fh:
+        source = fh.read()
+    lines: list[int] = []
+    tokens = list(tokenize.tokenize(io.BytesIO(source).readline))
+    for tok, nxt in zip(tokens, tokens[1:]):
+        if (tok.type == tokenize.NAME and tok.string == "except"
+                and nxt.type == tokenize.OP and nxt.string == ":"):
+            lines.append(tok.start[0])
+    return lines
+
+
+def main() -> int:
+    violations: list[str] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(SRC)):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            for line in bare_excepts(path):
+                rel = os.path.relpath(path, REPO_ROOT)
+                violations.append(f"{rel}:{line}: bare except: "
+                                  "(catch a concrete exception type)")
+    if violations:
+        sys.stderr.write("\n".join(violations) + "\n")
+        return 1
+    sys.stdout.write("check_bare_except: OK\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
