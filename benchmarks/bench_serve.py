@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Serving-tier load benchmark: latency / throughput / cache behavior of
+``repro.serve`` under a Poisson open-loop arrival process at several
+rates, plus the batching headline (one 8-member ensemble served in far
+fewer stacked forwards than eight sequential rollouts).
+
+Standalone (not a pytest bench — the serving loop drives its own virtual
+clock)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI-sized
+
+Writes ``benchmarks/results/serve_load.txt`` plus a machine-readable
+``serve_load.json`` sidecar with p50/p95/p99 latency, throughput, cache
+hit rate, and rejection rate per arrival rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import write_result  # noqa: E402
+
+from repro import obs, quickstart_components  # noqa: E402
+from repro.model import Aeris  # noqa: E402
+from repro.serve import (BatcherConfig, ForecastRequest,  # noqa: E402
+                         ForecastService, ServiceConfig)
+
+#: (tier, weight) mix of the synthetic workload.
+TIER_MIX = (("fast", 0.5), ("standard", 0.4), ("high", 0.1))
+
+
+def build_service(height, width, n_workers):
+    """A service over a small untrained model pair (latency, batching, and
+    caching do not depend on forecast skill)."""
+    archive, trainer = quickstart_components(height=height, width=width,
+                                             train_years=0.2,
+                                             test_years=0.1)
+    forecaster = trainer.forecaster()
+    student = Aeris(forecaster.model.config, seed=3)
+    service = ForecastService(
+        forecaster, student=student,
+        config=ServiceConfig(n_workers=n_workers,
+                             batcher=BatcherConfig(max_members=32,
+                                                   max_requests=8)))
+    return archive, forecaster, service
+
+
+def workload(archive, n_requests, rate_hz, seed, n_steps, repeat_frac):
+    """Poisson arrivals over a small pool of (init, seed) queries so a
+    ``repeat_frac`` fraction of requests are repeats (cacheable)."""
+    rng = np.random.default_rng(seed)
+    test_idx = archive.split_indices("test")
+    pool_size = max(1, int(round(n_requests * (1.0 - repeat_frac))))
+    pool = [(int(test_idx[rng.integers(len(test_idx) - n_steps)]),
+             int(rng.integers(1 << 16))) for _ in range(pool_size)]
+    arrivals = rng.exponential(1.0 / rate_hz, size=n_requests).cumsum()
+    tiers, weights = zip(*TIER_MIX)
+    requests = []
+    for k in range(n_requests):
+        idx, qseed = pool[rng.integers(pool_size)]
+        requests.append(ForecastRequest(
+            init_state=archive.fields[idx], n_steps=n_steps,
+            n_members=int(rng.choice((1, 2, 4))),
+            tier=str(rng.choice(tiers, p=weights)), seed=qseed,
+            start_index=idx, arrival_s=float(arrivals[k])))
+    return requests
+
+
+def percentile_row(latencies):
+    arr = np.asarray(latencies)
+    return {"p50_s": float(np.percentile(arr, 50)),
+            "p95_s": float(np.percentile(arr, 95)),
+            "p99_s": float(np.percentile(arr, 99))}
+
+
+def run_rate(service_builder, rate_hz, n_requests, seed, n_steps,
+             repeat_frac):
+    """One closed measurement at one arrival rate on a fresh service."""
+    archive, _, service = service_builder()
+    requests = workload(archive, n_requests, rate_hz, seed, n_steps,
+                        repeat_frac)
+    responses = service.run(requests)
+    completed = [r for r in responses if r.ok]
+    row = {
+        "rate_hz": rate_hz,
+        "requests": len(requests),
+        "completed": len(completed),
+        "rejected": service.tally["rejected"],
+        "timeout": service.tally["timeout"],
+        "failed": service.tally["failed"],
+        "rejection_rate": service.tally["rejected"] / len(requests),
+    }
+    if completed:
+        ends = [r.request.arrival_s + r.latency_s for r in completed]
+        makespan = max(ends) - min(r.request.arrival_s for r in completed)
+        row.update(percentile_row([r.latency_s for r in completed]))
+        row["throughput_rps"] = (len(completed) / makespan if makespan > 0
+                                 else float("nan"))
+        row["mean_queue_wait_s"] = float(np.mean(
+            [r.queue_wait_s for r in completed]))
+    cache = service.cache.stats()
+    row["cache_hit_rate"] = cache["hit_rate"]
+    row["cache_entries"] = cache["entries"]
+    row["slo"] = service.slo.summary()
+    row["batches"] = service.pool.stats()["dispatches"]
+    return row
+
+
+def ensemble_batching_headline(archive, forecaster, service, members=8):
+    """Serve one ``members``-member ensemble and compare stacked forwards
+    against the sequential per-member path (bit-identical by design)."""
+    idx = int(archive.split_indices("test")[0])
+    req = ForecastRequest(init_state=archive.fields[idx], n_steps=2,
+                          n_members=members, tier="standard", seed=42,
+                          start_index=idx)
+    resp = service.serve(req)
+    assert resp.ok, resp.error
+    per_step = service.router.route("standard").forwards_per_data_step()
+    sequential = members * per_step * req.n_steps
+    direct = forecaster.ensemble_rollout(
+        archive.fields[idx], n_steps=2, n_members=members, seed=42,
+        start_index=idx)
+    return {
+        "members": members,
+        "batched_forwards": resp.batch_forwards,
+        "sequential_forwards": sequential,
+        "speedup_x": sequential / resp.batch_forwards,
+        "bit_identical_to_direct": bool(np.array_equal(resp.forecast,
+                                                       direct)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests, two rates)")
+    parser.add_argument("--rates", type=float, nargs="+", default=None,
+                        help="arrival rates to sweep (requests/s)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per rate")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=2,
+                        help="forecast lead steps per request")
+    parser.add_argument("--repeat-frac", type=float, default=0.5,
+                        help="fraction of requests repeating earlier ones")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    rates = args.rates or ([2.0, 20.0] if args.smoke
+                           else [1.0, 5.0, 20.0, 80.0])
+    n_requests = args.requests or (12 if args.smoke else 60)
+    size = (8, 16) if args.smoke else (16, 32)
+
+    obs.enable()
+    try:
+        def builder():
+            return build_service(size[0], size[1], args.workers)
+
+        rows = [run_rate(builder, rate, n_requests, args.seed,
+                         args.steps, args.repeat_frac) for rate in rates]
+        archive, forecaster, service = builder()
+        headline = ensemble_batching_headline(archive, forecaster, service)
+
+        header = (f"{'rate/s':>8} {'done':>5} {'rej':>4} {'t/o':>4} "
+                  f"{'p50 ms':>8} {'p99 ms':>8} {'thru/s':>8} {'hit%':>6}")
+        lines = ["serve load sweep "
+                 f"({size[0]}x{size[1]}, {args.workers} workers, "
+                 f"{n_requests} requests/rate, repeat_frac="
+                 f"{args.repeat_frac})", header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                f"{row['rate_hz']:>8.1f} {row['completed']:>5d} "
+                f"{row['rejected']:>4d} {row['timeout']:>4d} "
+                f"{row.get('p50_s', float('nan')) * 1e3:>8.1f} "
+                f"{row.get('p99_s', float('nan')) * 1e3:>8.1f} "
+                f"{row.get('throughput_rps', float('nan')):>8.2f} "
+                f"{row['cache_hit_rate'] * 100:>6.1f}")
+        lines.append("")
+        lines.append(
+            f"8-member ensemble: {headline['batched_forwards']} stacked "
+            f"forwards vs {headline['sequential_forwards']} sequential "
+            f"({headline['speedup_x']:.1f}x fewer), bit-identical: "
+            f"{headline['bit_identical_to_direct']}")
+        write_result("serve_load.txt", "\n".join(lines) + "\n",
+                     data={"rates": rows, "ensemble_batching": headline,
+                           "smoke": args.smoke})
+        assert headline["bit_identical_to_direct"]
+        assert headline["batched_forwards"] < headline["sequential_forwards"]
+        assert any(row["cache_hit_rate"] > 0 for row in rows), \
+            "repeated queries produced no cache hits"
+    finally:
+        obs.disable()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ A from-scratch, pure-NumPy reproduction of the complete AERIS system:
   :mod:`repro.perf`);
 * :mod:`repro.resilience` — seeded fault injection, self-healing
   collectives (checksum + retry), and elastic checkpoint/recovery;
+* :mod:`repro.serve` — forecast serving: dynamic micro-batching,
+  content-addressed forecast cache, tiered samplers (consistency
+  student / DPM-Solver), replica worker pool under fault injection;
 * :mod:`repro.train` / :mod:`repro.baselines` / :mod:`repro.eval` —
   training, comparison systems, and verification metrics.
 
@@ -33,7 +36,7 @@ Quickstart::
 """
 
 from . import baselines, data, diffusion, eval, model, nn, obs, parallel
-from . import perf, resilience, tensor, train
+from . import perf, resilience, serve, tensor, train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -43,7 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "tensor", "nn", "model", "diffusion", "data", "parallel", "perf",
-    "train", "baselines", "eval", "obs", "resilience",
+    "train", "baselines", "eval", "obs", "resilience", "serve",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
     "SyntheticReanalysis", "ReanalysisConfig",

@@ -5,12 +5,20 @@ noise resampling (paper Figure 1c/1d).
 The model estimates the *standardized residual* ``x_i − x_{i−1}``; a
 :class:`ResidualForecaster` owns the state/residual normalizations so users
 interact in physical units.
+
+Ensemble members are sampled **batched** by default: the model already
+accepts ``(B, H, W, C)`` inputs, so one stacked forward per solver
+evaluation serves every member at once (`ensemble_rollout`), bit-identical
+to the sequential per-member loop (each member keeps its own seeded
+generator, and per-row numerics of a stacked forward are exact).  The
+serving tier (:mod:`repro.serve`) batches across *requests* the same way
+via :meth:`ResidualForecaster.step_members`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Protocol
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -20,7 +28,7 @@ from ..tensor import Tensor, no_grad
 from .solver import DpmSolver2S, SolverConfig
 from .trigflow import TrigFlow
 
-__all__ = ["ResidualForecaster", "Normalizer"]
+__all__ = ["ResidualForecaster", "Normalizer", "count_model_forwards"]
 
 
 class Normalizer(Protocol):
@@ -29,6 +37,19 @@ class Normalizer(Protocol):
 
     def normalize(self, x: np.ndarray) -> np.ndarray: ...
     def denormalize(self, x: np.ndarray) -> np.ndarray: ...
+
+
+def count_model_forwards(members: int) -> None:
+    """Book one stacked model forward serving ``members`` ensemble members
+    (``sampler.model_forwards`` counts forward passes — what latency is
+    made of; ``sampler.member_forwards`` counts member-evaluations — what
+    the sequential path would have paid one forward each for)."""
+    registry = _obs_metrics()
+    if registry is not None:
+        registry.counter("sampler.model_forwards",
+                         "stacked model forward passes").inc()
+        registry.counter("sampler.member_forwards",
+                         "per-member model evaluations").inc(members)
 
 
 @dataclass
@@ -52,8 +73,8 @@ class ResidualForecaster:
     residual_norm: Normalizer
     forcing_fn: Callable[[int], np.ndarray]
     forcing_norm: Normalizer | None = None
-    flow: TrigFlow = TrigFlow()
-    solver_config: SolverConfig = SolverConfig()
+    flow: TrigFlow = field(default_factory=TrigFlow)
+    solver_config: SolverConfig = field(default_factory=SolverConfig)
 
     def _velocity_fn(self, cond: np.ndarray, forcings: np.ndarray):
         """Bind conditioning into a velocity oracle for the ODE solver."""
@@ -62,6 +83,7 @@ class ResidualForecaster:
         sigma_d = self.flow.sigma_d
 
         def velocity(x_t: np.ndarray, t: float) -> np.ndarray:
+            count_model_forwards(1)
             with no_grad():
                 out = self.model(Tensor(x_t[None] / sigma_d),
                                  Tensor(np.array([t], dtype=np.float32)),
@@ -69,6 +91,32 @@ class ResidualForecaster:
             return sigma_d * out.numpy()[0]
 
         return velocity
+
+    def _batched_velocity_fn(self, cond: np.ndarray, forc: np.ndarray):
+        """Batched velocity oracle: ``cond`` / ``forc`` carry one row per
+        ensemble member, so members with *different* conditioning (states
+        diverge after step one; serving coalesces distinct requests) still
+        share a single stacked forward."""
+        cond_t = Tensor(cond)
+        forc_t = Tensor(forc)
+        sigma_d = self.flow.sigma_d
+
+        def velocity(x_t: np.ndarray, t: float) -> np.ndarray:
+            count_model_forwards(x_t.shape[0])
+            with no_grad():
+                out = self.model(Tensor(x_t / sigma_d),
+                                 Tensor(np.full(x_t.shape[0], t,
+                                                dtype=np.float32)),
+                                 cond_t, forc_t)
+            return sigma_d * out.numpy()
+
+        return velocity
+
+    def _normalized_forcings(self, time_index: int) -> np.ndarray:
+        forcings = self.forcing_fn(time_index)
+        if self.forcing_norm is not None:
+            forcings = self.forcing_norm.normalize(forcings)
+        return forcings
 
     def step(self, state: np.ndarray, time_index: int,
              rng: np.random.Generator) -> np.ndarray:
@@ -79,9 +127,7 @@ class ResidualForecaster:
         with _span("sampler.step", category="diffusion",
                    time_index=time_index):
             cond = self.state_norm.normalize(state)
-            forcings = self.forcing_fn(time_index)
-            if self.forcing_norm is not None:
-                forcings = self.forcing_norm.normalize(forcings)
+            forcings = self._normalized_forcings(time_index)
             solver = DpmSolver2S(self.flow, self.solver_config)
             residual_std = solver.sample(self._velocity_fn(cond, forcings),
                                          state.shape, rng)
@@ -90,6 +136,43 @@ class ResidualForecaster:
                 registry.counter("sampler.data_steps",
                                  "autoregressive data steps sampled").inc()
             return state + self.residual_norm.denormalize(residual_std)
+
+    def step_members(self, states: np.ndarray,
+                     time_indices: int | Sequence[int],
+                     rngs: Sequence[np.random.Generator]) -> np.ndarray:
+        """One data step for ``M = len(rngs)`` members through stacked
+        forwards: ``(M, H, W, C)`` physical states in, next states out.
+
+        Each member keeps its own generator and its own conditioning row;
+        ``time_indices`` may be one shared index (an ensemble advancing in
+        lockstep) or one per member (coalesced serving requests at
+        different leads/init times).  Bit-identical to ``M`` sequential
+        :meth:`step` calls.
+        """
+        m = len(rngs)
+        if states.shape[0] != m:
+            raise ValueError("one state row per generator required")
+        if isinstance(time_indices, (int, np.integer)):
+            time_indices = [int(time_indices)] * m
+        elif len(time_indices) != m:
+            raise ValueError("one time index per member required")
+        with _span("sampler.step_members", category="diffusion",
+                   members=m, time_index=int(time_indices[0])):
+            cond = self.state_norm.normalize(states)
+            forc_cache: dict[int, np.ndarray] = {}
+            for idx in time_indices:
+                if idx not in forc_cache:
+                    forc_cache[idx] = self._normalized_forcings(idx)
+            forc = np.stack([forc_cache[idx] for idx in time_indices])
+            solver = DpmSolver2S(self.flow, self.solver_config)
+            residual_std = solver.sample_members(
+                self._batched_velocity_fn(cond, forc), states.shape[1:],
+                list(rngs))
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.counter("sampler.data_steps",
+                                 "autoregressive data steps sampled").inc(m)
+            return states + self.residual_norm.denormalize(residual_std)
 
     def rollout(self, state0: np.ndarray, n_steps: int,
                 rng: np.random.Generator, start_index: int = 0) -> np.ndarray:
@@ -115,16 +198,59 @@ class ResidualForecaster:
             - self.residual_norm.denormalize(np.zeros_like(noise))
         return state0 + amplitude * scaled
 
+    def member_rngs(self, n_members: int,
+                    seed: int) -> list[np.random.Generator]:
+        """The per-member generator convention shared by both rollout paths
+        and the serving cache (member ``m`` streams from
+        ``default_rng(seed + 1000 m)``)."""
+        return [np.random.default_rng(seed + 1000 * m)
+                for m in range(n_members)]
+
     def ensemble_rollout(self, state0: np.ndarray, n_steps: int,
                          n_members: int, seed: int = 0,
                          start_index: int = 0,
-                         ic_perturbation: float = 0.0) -> np.ndarray:
+                         ic_perturbation: float = 0.0,
+                         batched: bool = True) -> np.ndarray:
         """Ensemble by resampling the diffusion noise per member (and
         optionally perturbing initial conditions):
-        ``(n_members, n_steps + 1, H, W, C)``."""
-        out = np.empty((n_members, n_steps + 1) + state0.shape, dtype=np.float32)
-        for m in range(n_members):
-            rng = np.random.default_rng(seed + 1000 * m)
+        ``(n_members, n_steps + 1, H, W, C)``.
+
+        ``batched=True`` (default) advances all members in lockstep through
+        one stacked model forward per solver evaluation; ``batched=False``
+        keeps the original per-member loop.  The two paths are
+        bit-identical (asserted by ``tests/diffusion``): every member's
+        noise comes from its own seeded generator either way.
+        """
+        if not batched:
+            return self._ensemble_rollout_sequential(
+                state0, n_steps, n_members, seed, start_index,
+                ic_perturbation)
+        rngs = self.member_rngs(n_members, seed)
+        out = np.empty((n_members, n_steps + 1) + state0.shape,
+                       dtype=np.float32)
+        for m, rng in enumerate(rngs):
+            start = state0
+            if ic_perturbation > 0.0 and m > 0:
+                # Member 0 stays unperturbed (the control member).
+                start = self.perturbed_initial_condition(state0, rng,
+                                                         ic_perturbation)
+            out[m, 0] = start
+        with _span("sampler.ensemble_rollout", category="diffusion",
+                   n_steps=n_steps, members=n_members,
+                   start_index=start_index):
+            states = out[:, 0].copy()
+            for i in range(n_steps):
+                states = self.step_members(states, start_index + i, rngs)
+                out[:, i + 1] = states
+        return out
+
+    def _ensemble_rollout_sequential(self, state0: np.ndarray, n_steps: int,
+                                     n_members: int, seed: int,
+                                     start_index: int,
+                                     ic_perturbation: float) -> np.ndarray:
+        out = np.empty((n_members, n_steps + 1) + state0.shape,
+                       dtype=np.float32)
+        for m, rng in enumerate(self.member_rngs(n_members, seed)):
             start = state0
             if ic_perturbation > 0.0 and m > 0:
                 # Member 0 stays unperturbed (the control member).

@@ -182,6 +182,48 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    # -- serving accounting --------------------------------------------------
+    def serve_check(self, service) -> dict:
+        """Every request the service admitted must be answered somewhere.
+
+        Reconciles a :class:`~repro.serve.ForecastService`'s request tally
+        against the ``serve.requests`` lifecycle counter and against the
+        conservation identities of the serving loop: ``submitted =
+        accepted + rejected`` and ``accepted = completed + timeout +
+        failed``.  A request that was admitted but never answered (lost in
+        the queue, dropped by a failover) breaks the identity and fails
+        the check — the serving analogue of a silent fault in
+        :meth:`resilience_check`.
+        """
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        counter = self.registry.counter("serve.requests")
+        tally = dict(service.tally)
+        per_event = {}
+        agrees = True
+        for event in ("submitted", "accepted", "rejected",
+                      "completed", "timeout", "failed"):
+            tallied = tally.get(event, 0)
+            booked = counter.total(event=event)
+            match = booked == tallied
+            agrees = agrees and match
+            per_event[event] = {"tally": tallied, "counter": booked,
+                                "match": match}
+        conservation = {
+            "submitted_eq_accepted_plus_rejected":
+                tally["submitted"] == tally["accepted"] + tally["rejected"],
+            "accepted_eq_completed_plus_timeout_plus_failed":
+                tally["accepted"] == (tally["completed"] + tally["timeout"]
+                                      + tally["failed"]),
+        }
+        agrees = agrees and all(conservation.values())
+        n_spans = len(self.tracer.select(category="serve"))
+        result = {"check": "serve_requests", "per_event": per_event,
+                  "conservation": conservation, "serve_spans": n_spans,
+                  "cache": service.cache.stats(), "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> dict:
         out = {"checks": self.checks,
@@ -213,6 +255,15 @@ class TraceReport:
                 lines.append(
                     f"  resilience faults (injected/observed): "
                     f"{', '.join(parts)} | {c['resilience_spans']} spans | "
+                    f"{'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "serve_requests":
+                parts = [f"{event} {r['tally']}"
+                         for event, r in c["per_event"].items()]
+                lines.append(
+                    f"  serve requests (tally vs counters): "
+                    f"{', '.join(parts)} | cache hit rate "
+                    f"{c['cache']['hit_rate']:.2f} | "
+                    f"{c['serve_spans']} spans | "
                     f"{'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "comm_bytes":
                 n = len(c["registry_vs_commstats"])

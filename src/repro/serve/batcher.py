@@ -1,0 +1,157 @@
+"""Dynamic micro-batching: coalesce compatible requests into one stacked
+model forward per solver evaluation.
+
+The model accepts ``(B, H, W, C)`` and every conditioning input (previous
+state, forcings, diffusion time) is per-row, so *any* two requests at the
+same tier are compatible — different initial conditions, different leads,
+different forcing calendars all batch together.  A micro-batch therefore
+groups the head-of-queue request with further same-tier requests (FIFO)
+until the member budget (``max_members``) or request budget
+(``max_requests``) is hit.  One 8-member request then costs one forward
+per solver evaluation instead of eight; eight coalesced 1-member requests
+cost the same one.
+
+Batches never mix tiers: the tier fixes the solver schedule (and which
+network runs), which must be uniform across the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
+from .queue import AdmissionQueue, PendingRequest
+from .samplers import TierPolicy
+
+__all__ = ["BatcherConfig", "MemberTask", "MicroBatch", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Micro-batch budgets: member rows per stacked forward and requests
+    coalesced per batch."""
+
+    max_members: int = 32
+    max_requests: int = 8
+
+    def __post_init__(self):
+        if self.max_members < 1 or self.max_requests < 1:
+            raise ValueError("batch budgets must be >= 1")
+
+
+@dataclass(eq=False)
+class MemberTask:
+    """One ensemble member's work inside a micro-batch: its current state,
+    its seeded generator, how far it has advanced (``lead``), and the
+    trajectory accumulated so far (prefix possibly restored from cache)."""
+
+    pending: PendingRequest
+    member: int
+    member_seed: int
+    state: np.ndarray
+    rng: np.random.Generator
+    lead: int
+    target: int
+    trajectory: list = field(default_factory=list)
+    init_digest: str = ""
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.lead >= self.target
+
+    def time_index(self) -> int:
+        return self.pending.request.start_index + self.lead
+
+
+@dataclass(eq=False)
+class MicroBatch:
+    """Same-tier requests stacked for execution."""
+
+    policy: TierPolicy
+    requests: list[PendingRequest]
+    assembled_s: float
+
+    @property
+    def n_members(self) -> int:
+        return sum(p.request.n_members for p in self.requests)
+
+    @property
+    def max_lead(self) -> int:
+        return max(p.request.n_steps for p in self.requests)
+
+
+class MicroBatcher:
+    """Pulls from an :class:`AdmissionQueue`, emits :class:`MicroBatch`es."""
+
+    def __init__(self, queue: AdmissionQueue,
+                 config: BatcherConfig | None = None):
+        self.queue = queue
+        self.config = config if config is not None else BatcherConfig()
+
+    def next_batch(self, now: float
+                   ) -> tuple[MicroBatch | None, list[PendingRequest]]:
+        """Assemble the next micro-batch at virtual time ``now``.
+
+        Returns ``(batch, expired)``: ``batch`` is ``None`` when nothing
+        is queued; ``expired`` are requests whose tier deadline passed
+        while they waited (the service answers those with ``Timeout``).
+        """
+        with _span("serve.batch_assembly", category="serve",
+                   queued=len(self.queue)):
+            head, expired = self.queue.pop_live(now)
+            if head is None:
+                return None, expired
+            requests = [head]
+            members = head.request.n_members
+            tier = head.request.tier
+            while (len(requests) < self.config.max_requests
+                   and members < self.config.max_members):
+                nxt = self.queue.pop_tier(tier)
+                if nxt is None:
+                    break
+                if nxt.expired(now):
+                    expired.append(nxt)
+                    continue
+                if members + nxt.request.n_members > self.config.max_members:
+                    # Over the member budget: put it back (at its original
+                    # position) for the next batch rather than splitting a
+                    # request's ensemble across batches.
+                    self.queue.requeue(nxt)
+                    break
+                requests.append(nxt)
+                members += nxt.request.n_members
+            batch = MicroBatch(policy=head.policy, requests=requests,
+                               assembled_s=now)
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.counter("serve.batches",
+                                 "micro-batches assembled").inc(1, tier=tier)
+                registry.histogram("serve.batch_members",
+                                   "member rows per micro-batch",
+                                   buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+                                   ).observe(members, tier=tier)
+            return batch, expired
+
+    @staticmethod
+    def member_tasks(batch: MicroBatch) -> list[MemberTask]:
+        """Explode a batch into per-member tasks (cache state is attached
+        by the service before stepping)."""
+        tasks = []
+        for pending in batch.requests:
+            req = pending.request
+            # float32 like the direct rollout's output buffer, so served
+            # trajectories are bit-identical to it from the IC onward.
+            init = np.asarray(req.init_state, dtype=np.float32)
+            for m in range(req.n_members):
+                seed = req.seed + 1000 * m
+                tasks.append(MemberTask(
+                    pending=pending, member=m, member_seed=seed,
+                    state=init, rng=np.random.default_rng(seed),
+                    lead=0, target=req.n_steps,
+                    trajectory=[init]))
+        return tasks

@@ -1,0 +1,140 @@
+"""Priority admission queue with backpressure.
+
+Admission control happens at :meth:`AdmissionQueue.submit`: a request is
+either *accepted* (enters the priority heap) or *rejected* with a typed
+:class:`~repro.serve.Rejected` — a full queue sheds load at the door
+instead of letting latency grow without bound.  Two caps apply: a global
+``max_depth`` and each tier's ``max_queue_depth`` (so a burst of ``high``
+requests cannot starve the ``fast`` lane of queue slots).
+
+Ordering is ``(tier priority, arrival order)`` — cheap tiers first, FIFO
+within a tier.  Deadlines are enforced at *pop* time: a request that
+waited past its tier's ``deadline_s`` is returned as expired (the service
+answers it with a :class:`~repro.serve.Timeout`) rather than burning a
+model forward on an answer nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..obs.profile import metrics as _obs_metrics
+from .api import ForecastRequest, Rejected
+from .samplers import TierPolicy, TierRouter
+
+__all__ = ["QueueConfig", "PendingRequest", "AdmissionQueue"]
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Global queue-depth cap (per-tier caps live on the tier policies)."""
+
+    max_depth: int = 256
+
+
+@dataclass(eq=False)
+class PendingRequest:
+    """An accepted request waiting for a micro-batch slot."""
+
+    request: ForecastRequest
+    policy: TierPolicy
+    enqueued_s: float
+    seq: int
+
+    def waited_s(self, now: float) -> float:
+        return now - self.enqueued_s
+
+    def expired(self, now: float) -> bool:
+        return self.waited_s(now) > self.policy.deadline_s
+
+
+class AdmissionQueue:
+    """Bounded priority queue over :class:`PendingRequest`."""
+
+    def __init__(self, router: TierRouter,
+                 config: QueueConfig | None = None):
+        self.router = router
+        self.config = config if config is not None else QueueConfig()
+        self._heap: list[tuple[int, int, PendingRequest]] = []
+        self._seq = 0
+        self.depths: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def depth(self, tier: str) -> int:
+        return self.depths.get(tier, 0)
+
+    def _gauge(self) -> None:
+        registry = _obs_metrics()
+        if registry is not None:
+            for tier, depth in self.depths.items():
+                registry.gauge("serve.queue_depth",
+                               "requests waiting per tier").set(depth,
+                                                                tier=tier)
+
+    def submit(self, request: ForecastRequest,
+               now: float) -> PendingRequest:
+        """Admit or raise :class:`Rejected` (the caller books the tally)."""
+        policy = self.router.route(request.tier)
+        if len(self._heap) >= self.config.max_depth:
+            raise Rejected("queue_full",
+                           f"global depth cap {self.config.max_depth}")
+        if self.depth(request.tier) >= policy.max_queue_depth:
+            raise Rejected("tier_queue_full",
+                           f"tier {request.tier!r} cap "
+                           f"{policy.max_queue_depth}")
+        pending = PendingRequest(request=request, policy=policy,
+                                 enqueued_s=now, seq=self._seq)
+        heapq.heappush(self._heap, (policy.priority, self._seq, pending))
+        self._seq += 1
+        self.depths[request.tier] = self.depth(request.tier) + 1
+        self._gauge()
+        return pending
+
+    def requeue(self, pending: PendingRequest) -> None:
+        """Return a popped-but-unserved request to its exact heap position
+        (original priority, original arrival order — no cap re-check, the
+        slot was never released to anyone else this instant)."""
+        heapq.heappush(self._heap,
+                       (pending.policy.priority, pending.seq, pending))
+        self.depths[pending.request.tier] = \
+            self.depth(pending.request.tier) + 1
+        self._gauge()
+
+    def _remove(self, pending: PendingRequest) -> None:
+        self.depths[pending.request.tier] -= 1
+        self._gauge()
+
+    def pop(self) -> PendingRequest | None:
+        """Highest-priority pending request (no deadline check)."""
+        if not self._heap:
+            return None
+        _, _, pending = heapq.heappop(self._heap)
+        self._remove(pending)
+        return pending
+
+    def pop_live(self, now: float
+                 ) -> tuple[PendingRequest | None, list[PendingRequest]]:
+        """Next request still within its deadline, plus any expired ones
+        drained on the way."""
+        expired: list[PendingRequest] = []
+        while self._heap:
+            pending = self.pop()
+            if pending.expired(now):
+                expired.append(pending)
+                continue
+            return pending, expired
+        return None, expired
+
+    def peek_tier(self) -> str | None:
+        """Tier of the current head (what the next batch will serve)."""
+        return self._heap[0][2].request.tier if self._heap else None
+
+    def pop_tier(self, tier: str) -> PendingRequest | None:
+        """Next pending request of ``tier`` if it sits at the head of its
+        priority class (FIFO within the tier is preserved)."""
+        if self._heap and self._heap[0][2].request.tier == tier:
+            return self.pop()
+        return None

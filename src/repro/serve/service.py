@@ -1,0 +1,342 @@
+"""``ForecastService``: the serving event loop tying queue, batcher,
+cache, tiers, and workers together.
+
+The service is a discrete-event simulation of a production inference
+tier, the same way :class:`~repro.parallel.SimCluster` is one of a
+fabric: requests arrive on a virtual clock (their ``arrival_s`` stamps),
+admission and batching are instantaneous, and each micro-batch occupies
+its worker for the *measured wall time* of its stacked model forwards.
+Latency percentiles, SLO attainment, and capacity degradation under
+worker fail-stops therefore come out of real compute against a
+reproducible arrival process.
+
+Serving pipeline per batch::
+
+    queue (priority, admission, deadlines)
+      → micro-batcher (coalesce same-tier requests; one stacked forward
+        per solver evaluation serves every member)
+      → cache restore (longest content-addressed prefix per member)
+      → tier sampler (fast: consistency student; standard/high: DPM 2S)
+      → cache fill + response assembly
+
+For a fixed seed the served forecast is **bit-identical** to a direct
+:meth:`ResidualForecaster.ensemble_rollout` at the same tier — batching
+is per-row exact and cache entries are exact copies — which is asserted
+end-to-end by ``tests/serve``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Sequence
+
+import numpy as np
+
+from ..diffusion import ResidualForecaster
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
+from ..resilience import ResilienceError, RetryPolicy
+from .api import ForecastRequest, ForecastResponse, Rejected, Timeout
+from .batcher import BatcherConfig, MemberTask, MicroBatch, MicroBatcher
+from .cache import ForecastCache, array_digest, forecast_key, \
+    solver_digest, weights_digest
+from .queue import AdmissionQueue, PendingRequest, QueueConfig
+from .samplers import OneStepForecaster, SloTracker, TierRouter
+from .worker import ServeWorkerPool
+
+__all__ = ["ServiceConfig", "ForecastService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (tier policies live on the router)."""
+
+    n_workers: int = 1
+    cache_bytes: int = 64 << 20
+    queue: QueueConfig = field(default_factory=QueueConfig)
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+
+
+class ForecastService:
+    """Serves :class:`ForecastRequest`\\ s in front of a trained model.
+
+    Parameters
+    ----------
+    forecaster:
+        The diffusion path (``standard`` / ``high`` tiers): typically
+        ``trainer.forecaster()`` — EMA weights, paper solver defaults.
+        Its solver config is *overridden per tier* by the router's
+        policies.
+    student:
+        Optional consistency-distilled one-step model (``fast`` tier).
+        Without it, fast requests are rejected as ``tier_unavailable``.
+    variable_names:
+        Channel names of the state vector, enabling per-request variable
+        subsetting (e.g. ``repro.data.TOY_SET.names``).
+    cluster / injector / retry:
+        Resilience wiring for the worker pool (see
+        :class:`~repro.serve.ServeWorkerPool`).
+    """
+
+    def __init__(self, forecaster: ResidualForecaster, student=None,
+                 config: ServiceConfig | None = None,
+                 router: TierRouter | None = None,
+                 variable_names: Sequence[str] | None = None,
+                 cluster=None, injector=None,
+                 retry: RetryPolicy | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.router = router if router is not None else TierRouter()
+        self.base = forecaster
+        self.variable_names = (list(variable_names)
+                               if variable_names is not None else None)
+        self.cache = ForecastCache(self.config.cache_bytes)
+        self.queue = AdmissionQueue(self.router, self.config.queue)
+        self.batcher = MicroBatcher(self.queue, self.config.batcher)
+        self.pool = ServeWorkerPool(self.config.n_workers, cluster=cluster,
+                                    injector=injector, retry=retry)
+        self.slo = SloTracker(self.router.policies)
+        # Per-tier steppers + content digests.  A tier whose model is
+        # missing (no student) simply isn't served.
+        base_digest = weights_digest(forecaster.model)
+        self._steppers: dict[str, object] = {}
+        self._digests: dict[str, tuple[str, str]] = {}
+        for name, policy in self.router.policies.items():
+            if policy.solver_config is None:
+                if student is None:
+                    continue
+                self._steppers[name] = OneStepForecaster(
+                    model=student, state_norm=forecaster.state_norm,
+                    residual_norm=forecaster.residual_norm,
+                    forcing_fn=forecaster.forcing_fn,
+                    forcing_norm=forecaster.forcing_norm,
+                    flow=forecaster.flow)
+                self._digests[name] = (weights_digest(student),
+                                       solver_digest(None))
+            else:
+                self._steppers[name] = _dc_replace(
+                    forecaster, solver_config=policy.solver_config)
+                self._digests[name] = (base_digest,
+                                       solver_digest(policy.solver_config))
+        cfg = getattr(forecaster.model, "config", None)
+        self._field_shape = ((cfg.height, cfg.width, cfg.channels)
+                             if cfg is not None else None)
+        self.tally = {"submitted": 0, "accepted": 0, "rejected": 0,
+                      "completed": 0, "timeout": 0, "failed": 0}
+
+    # -- accounting ----------------------------------------------------------
+    def _count(self, event: str, tier: str, **labels) -> None:
+        self.tally[event] += 1
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("serve.requests",
+                             "request lifecycle events").inc(
+                1, event=event, tier=tier, **labels)
+
+    # -- admission -----------------------------------------------------------
+    def _variable_indices(self, request: ForecastRequest) -> list[int] | None:
+        if request.variables is None:
+            return None
+        if self.variable_names is None:
+            raise Rejected("unknown_variable",
+                           "service has no variable names configured")
+        try:
+            return [self.variable_names.index(v) for v in request.variables]
+        except ValueError as exc:
+            raise Rejected("unknown_variable", str(exc)) from None
+
+    def _admit(self, request: ForecastRequest,
+               now: float) -> ForecastResponse | None:
+        """Queue the request; a rejection becomes an immediate response."""
+        self._count("submitted", request.tier)
+        try:
+            if request.tier not in self._steppers:
+                raise Rejected("tier_unavailable",
+                               f"tier {request.tier!r} has no model")
+            if (self._field_shape is not None
+                    and tuple(request.init_state.shape)
+                    != self._field_shape):
+                raise Rejected("bad_shape",
+                               f"want {self._field_shape}, got "
+                               f"{tuple(request.init_state.shape)}")
+            self._variable_indices(request)
+            self.queue.submit(request, now)
+        except Rejected as exc:
+            self._count("rejected", request.tier, reason=exc.reason)
+            return ForecastResponse(request=request, status="rejected",
+                                    error=str(exc))
+        self._count("accepted", request.tier)
+        return None
+
+    # -- responses -----------------------------------------------------------
+    def _timeout_response(self, pending: PendingRequest,
+                          now: float) -> ForecastResponse:
+        err = Timeout(pending.waited_s(now), pending.policy.deadline_s)
+        self._count("timeout", pending.request.tier)
+        return ForecastResponse(request=pending.request, status="timeout",
+                                error=str(err),
+                                queue_wait_s=pending.waited_s(now))
+
+    def _failed_response(self, pending: PendingRequest,
+                         error: str) -> ForecastResponse:
+        self._count("failed", pending.request.tier)
+        return ForecastResponse(request=pending.request, status="failed",
+                                error=error)
+
+    # -- cache interaction ---------------------------------------------------
+    def _restore_prefix(self, task: MemberTask, weights: str,
+                        solver: str) -> None:
+        """Walk the content-addressed prefix forward while cached, leaving
+        the task's state/rng/trajectory positioned at the longest hit."""
+        req = task.pending.request
+        task.init_digest = array_digest(task.state)
+        last = None
+        while task.lead < task.target:
+            key = forecast_key(weights, task.init_digest, task.member_seed,
+                               solver, req.start_index, task.lead + 1)
+            entry = self.cache.get(key)
+            if entry is None:
+                task.cache_misses += 1
+                break
+            task.trajectory.append(entry.state)
+            task.lead += 1
+            task.cache_hits += 1
+            last = entry
+        if last is not None:
+            task.state = last.state
+            task.rng.bit_generator.state = last.rng_state
+
+    # -- batch execution -----------------------------------------------------
+    def _execute(self, batch: MicroBatch) -> dict:
+        """Run one micro-batch to completion: restore cached prefixes,
+        advance every unfinished member through stacked forwards, cache
+        each new step.  Returns per-pending results."""
+        policy = batch.policy
+        stepper = self._steppers[policy.name]
+        weights, solver = self._digests[policy.name]
+        tasks = MicroBatcher.member_tasks(batch)
+        with _span("serve.cache", category="serve", tier=policy.name,
+                   members=len(tasks)):
+            for task in tasks:
+                self._restore_prefix(task, weights, solver)
+        forwards = 0
+        while True:
+            active = [t for t in tasks if not t.done]
+            if not active:
+                break
+            states = np.stack([t.state for t in active])
+            indices = [t.time_index() for t in active]
+            rngs = [t.rng for t in active]
+            new_states = stepper.step_members(states, indices, rngs)
+            forwards += policy.forwards_per_data_step()
+            for k, task in enumerate(active):
+                task.state = new_states[k]
+                task.lead += 1
+                task.trajectory.append(task.state)
+                key = forecast_key(weights, task.init_digest,
+                                   task.member_seed, solver,
+                                   task.pending.request.start_index,
+                                   task.lead)
+                self.cache.put(key, task.state,
+                               task.rng.bit_generator.state)
+        # Assemble per-request forecasts.
+        by_pending: dict[int, list[MemberTask]] = {}
+        for task in tasks:
+            by_pending.setdefault(id(task.pending), []).append(task)
+        results = {}
+        for pending in batch.requests:
+            members = by_pending[id(pending)]
+            members.sort(key=lambda t: t.member)
+            forecast = np.stack([np.stack(t.trajectory) for t in members])
+            results[id(pending)] = {
+                "forecast": forecast.astype(np.float32, copy=False),
+                "cache_hits": sum(t.cache_hits for t in members),
+                "cache_misses": sum(t.cache_misses for t in members),
+            }
+        return {"per_request": results, "forwards": forwards,
+                "members": len(tasks)}
+
+    def _subset(self, request: ForecastRequest,
+                forecast: np.ndarray) -> np.ndarray:
+        indices = self._variable_indices(request)
+        return forecast if indices is None else forecast[..., indices]
+
+    # -- the event loop ------------------------------------------------------
+    def run(self, requests: Sequence[ForecastRequest],
+            start_s: float = 0.0) -> list[ForecastResponse]:
+        """Serve a batch of arrival-stamped requests to completion.
+
+        Virtual time starts at ``start_s``; arrivals are admitted at their
+        stamps, micro-batches dispatch whenever a worker is free, and the
+        loop ends when every request is answered (completed, rejected,
+        timed out, or failed)."""
+        arrivals = sorted(requests, key=lambda r: r.arrival_s)
+        responses: list[ForecastResponse] = []
+        now = start_s
+        i = 0
+        while True:
+            while i < len(arrivals) and arrivals[i].arrival_s <= now:
+                rejected = self._admit(arrivals[i], now)
+                if rejected is not None:
+                    responses.append(rejected)
+                i += 1
+            if not len(self.queue):
+                if i >= len(arrivals):
+                    break
+                now = max(now, arrivals[i].arrival_s)
+                continue
+            free_at = self.pool.earliest_free()
+            if free_at == float("inf"):
+                # Capacity is gone: answer everything still queued.
+                while len(self.queue):
+                    pending = self.queue.pop()
+                    responses.append(self._failed_response(
+                        pending, "no live serve workers"))
+                continue
+            if free_at > now:
+                if i < len(arrivals) and arrivals[i].arrival_s < free_at:
+                    now = arrivals[i].arrival_s
+                else:
+                    now = free_at
+                continue
+            batch, expired = self.batcher.next_batch(now)
+            for pending in expired:
+                responses.append(self._timeout_response(pending, now))
+            if batch is None:
+                continue
+            payload = np.stack([np.asarray(p.request.init_state,
+                                           dtype=np.float32)
+                                for p in batch.requests
+                                for _ in range(p.request.n_members)])
+            try:
+                worker, end, result = self.pool.dispatch(
+                    now, lambda: self._execute(batch), payload=payload)
+            except ResilienceError as exc:
+                for pending in batch.requests:
+                    responses.append(self._failed_response(pending,
+                                                           str(exc)))
+                continue
+            for pending in batch.requests:
+                req = pending.request
+                per = result["per_request"][id(pending)]
+                latency = end - req.arrival_s
+                self._count("completed", req.tier)
+                self.slo.record(req.tier, latency)
+                responses.append(ForecastResponse(
+                    request=req, status="completed",
+                    forecast=self._subset(req, per["forecast"]),
+                    latency_s=latency,
+                    queue_wait_s=batch.assembled_s - pending.enqueued_s,
+                    worker=worker.rank,
+                    batch_forwards=result["forwards"],
+                    batch_members=result["members"],
+                    cache_hits=per["cache_hits"],
+                    cache_misses=per["cache_misses"]))
+        return responses
+
+    def serve(self, request: ForecastRequest) -> ForecastResponse:
+        """Synchronous single-request convenience."""
+        return self.run([request], start_s=request.arrival_s)[0]
+
+    def stats(self) -> dict:
+        return {"tally": dict(self.tally), "cache": self.cache.stats(),
+                "workers": self.pool.stats(), "slo": self.slo.summary()}

@@ -1,0 +1,175 @@
+"""Replica worker pool under the :mod:`repro.resilience` fault machinery.
+
+``N`` replica workers model serving capacity the way the training stack
+models compute ranks: each worker is a logical rank with a virtual
+``free_at`` horizon; a micro-batch is dispatched to the earliest-free
+live worker, and the *measured wall time* of its stacked forwards becomes
+the batch's virtual service duration.  With a :class:`SimCluster`
+attached, batch inputs are shipped to the worker over the metered fabric
+(``p2p`` transfers), which routes them through the fault injector: drops
+and bit flips heal by checksum + retry exactly as training collectives
+do, and a **fail-stop** marks the worker dead — capacity degrades to the
+survivors and the batch fails over instead of dropping its requests.
+Workers can also be SWiPe-sharded in spirit: pass a cluster whose ranks
+carry a wider layout and the pool simply occupies one rank per replica.
+
+Every failover and dead worker is booked through :mod:`repro.obs`
+(``serve.worker_failovers``, ``resilience.dead_ranks``) so a serve chaos
+run reconciles under :meth:`repro.obs.TraceReport.resilience_check` just
+like a training chaos run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import span as _span
+from ..resilience import ClusterFailure, RankFailure, RetryPolicy
+
+__all__ = ["WorkerState", "ServeWorkerPool"]
+
+
+@dataclass(eq=False)
+class WorkerState:
+    """One replica worker: a logical rank plus its virtual busy horizon."""
+
+    rank: int
+    free_at: float = 0.0
+    alive: bool = True
+    batches_served: int = 0
+
+
+class ServeWorkerPool:
+    """Dispatches micro-batch executions across replica workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Replica count (serving capacity).
+    cluster:
+        Optional :class:`~repro.parallel.SimCluster` whose first
+        ``n_workers`` ranks host the replicas; rank ``n_workers`` is the
+        dispatcher.  Requires ``n_ranks >= n_workers + 1``.  Batch inputs
+        are shipped over its metered, fault-aware fabric.
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector`; defaults to the
+        cluster's.  ``injector.advance(k)`` is called once per dispatch,
+        so fail-stop events scheduled at "step" ``k`` kill a worker before
+        its ``k``-th batch.
+    retry:
+        Bounds how many worker failovers one batch may attempt before the
+        pool escalates :class:`~repro.resilience.ClusterFailure`.
+    """
+
+    def __init__(self, n_workers: int = 1, cluster=None, injector=None,
+                 retry: RetryPolicy | None = None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if cluster is not None and cluster.n_ranks < n_workers + 1:
+            raise ValueError("cluster needs n_workers + 1 ranks "
+                             "(replicas + dispatcher)")
+        self.workers = [WorkerState(rank=r) for r in range(n_workers)]
+        self.cluster = cluster
+        self.injector = injector if injector is not None else (
+            cluster.injector if cluster is not None else None)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.dispatcher_rank = n_workers
+        self.n_dispatches = 0
+
+    def live_workers(self) -> list[WorkerState]:
+        return [w for w in self.workers if w.alive]
+
+    def earliest_free(self) -> float:
+        """Virtual time the next live worker frees up (inf if none live)."""
+        live = self.live_workers()
+        if not live:
+            return float("inf")
+        return min(w.free_at for w in live)
+
+    def _mark_dead(self, worker: WorkerState, primitive: str) -> None:
+        worker.alive = False
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("resilience.dead_ranks",
+                             "workers lost to fail-stop").inc(
+                1, scope="serve")
+            registry.gauge("serve.live_workers",
+                           "replica workers still serving").set(
+                len(self.live_workers()))
+        with _span("resilience.worker_failstop", category="resilience",
+                   rank=worker.rank, primitive=primitive):
+            pass
+
+    def _ship_inputs(self, worker: WorkerState, payload: np.ndarray | None,
+                     nbytes: int) -> None:
+        """Move the batch input to the worker over the metered fabric
+        (fault-aware: transient faults heal, dead ranks raise)."""
+        if self.cluster is None or nbytes <= 0:
+            if self.injector is not None:
+                self.injector.raise_if_dead([worker.rank], "serve")
+            return
+        self.cluster.transfer("p2p", self.dispatcher_rank, worker.rank,
+                              nbytes, payload=payload)
+
+    def dispatch(self, now: float, execute: Callable[[], object],
+                 payload: np.ndarray | None = None
+                 ) -> tuple[WorkerState, float, object]:
+        """Run ``execute`` on the earliest-free live worker.
+
+        Returns ``(worker, end_s, result)`` where ``end_s`` is the virtual
+        completion time: ``max(now, worker.free_at)`` plus the measured
+        wall duration of the stacked forwards.  A dead worker fails over
+        to the next live one (bounded by the retry policy); transient
+        fabric faults that exhaust their retries propagate as the typed
+        resilience errors.
+        """
+        if self.injector is not None:
+            self.injector.advance(self.n_dispatches)
+        self.n_dispatches += 1
+        nbytes = int(payload.nbytes) if payload is not None else 0
+        attempts = 0
+        while True:
+            live = self.live_workers()
+            if not live:
+                raise ClusterFailure("no live serve workers")
+            worker = min(live, key=lambda w: (w.free_at, w.rank))
+            try:
+                self._ship_inputs(worker, payload, nbytes)
+            except RankFailure:
+                self._mark_dead(worker, "serve")
+                attempts += 1
+                if attempts > self.retry.max_retries:
+                    raise ClusterFailure(
+                        f"batch failed over {attempts} times") from None
+                registry = _obs_metrics()
+                if registry is not None:
+                    registry.counter("serve.worker_failovers",
+                                     "batches re-dispatched after a "
+                                     "worker fail-stop").inc()
+                continue
+            start = max(now, worker.free_at)
+            wall0 = time.perf_counter()
+            with _span("serve.forward", category="serve",
+                       worker=worker.rank):
+                result = execute()
+            duration = time.perf_counter() - wall0
+            end = start + duration
+            worker.free_at = end
+            worker.batches_served += 1
+            return worker, end, result
+
+    def stats(self) -> dict:
+        return {
+            "n_workers": len(self.workers),
+            "live": len(self.live_workers()),
+            "dispatches": self.n_dispatches,
+            "per_worker": [{"rank": w.rank, "alive": w.alive,
+                            "batches": w.batches_served,
+                            "busy_until_s": w.free_at}
+                           for w in self.workers],
+        }

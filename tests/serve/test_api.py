@@ -1,0 +1,92 @@
+"""Request/response surface, tier routing, and SLO bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import SolverConfig
+from repro.serve import (TIERS, ForecastRequest, Rejected, SloTracker,
+                         TierPolicy, TierRouter, Timeout, default_tiers)
+
+STATE = np.zeros((4, 8, 3), dtype=np.float32)
+
+
+class TestForecastRequest:
+    def test_defaults(self):
+        req = ForecastRequest(init_state=STATE, n_steps=2)
+        assert req.tier == "standard" and req.n_members == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tier": "turbo"},
+        {"n_steps": 0},
+        {"n_members": 0},
+    ])
+    def test_validation(self, kwargs):
+        base = {"init_state": STATE, "n_steps": 1}
+        with pytest.raises(ValueError):
+            ForecastRequest(**{**base, **kwargs})
+
+    def test_init_state_must_be_field(self):
+        with pytest.raises(ValueError):
+            ForecastRequest(init_state=np.zeros((4, 8)), n_steps=1)
+
+
+class TestErrors:
+    def test_rejected_carries_machine_readable_reason(self):
+        exc = Rejected("queue_full", "depth cap 256")
+        assert exc.reason == "queue_full"
+        assert "queue_full" in str(exc) and "depth cap 256" in str(exc)
+
+    def test_timeout_carries_wait_and_deadline(self):
+        exc = Timeout(3.5, 2.0)
+        assert exc.waited_s == 3.5 and exc.deadline_s == 2.0
+
+
+class TestTiers:
+    def test_default_tiers_cover_public_names(self):
+        assert set(default_tiers()) == set(TIERS)
+
+    def test_tier_cost_model(self):
+        """fast = 1 student eval; solver tiers = 2 evals per 2S update
+        (n_steps grid points) + the final denoise."""
+        tiers = default_tiers()
+        assert tiers["fast"].forwards_per_data_step() == 1
+        assert tiers["standard"].forwards_per_data_step() == 19
+        assert tiers["high"].forwards_per_data_step() == 39
+
+    def test_router_is_deterministic(self):
+        router = TierRouter()
+        assert router.route("fast") is router.route("fast")
+        assert router.route("high").solver_config.churn > 0
+
+    def test_router_rejects_unknown_tier(self):
+        with pytest.raises(Rejected) as info:
+            TierRouter().route("turbo")
+        assert info.value.reason == "tier_unavailable"
+
+    def test_router_rejects_mis_keyed_policy(self):
+        policy = TierPolicy(name="fast", priority=0, solver_config=None)
+        with pytest.raises(ValueError):
+            TierRouter({"standard": policy})
+
+    def test_with_policy_replaces_one_tier(self):
+        router = TierRouter()
+        tuned = router.with_policy(TierPolicy(
+            name="standard", priority=1,
+            solver_config=SolverConfig(n_steps=2)))
+        assert tuned.route("standard").solver_config.n_steps == 2
+        assert router.route("standard").solver_config.n_steps == 10
+        assert tuned.route("high") is router.route("high")
+
+
+class TestSloTracker:
+    def test_attainment_and_percentiles(self):
+        policies = {"fast": TierPolicy(name="fast", priority=0,
+                                       solver_config=None, slo_s=1.0)}
+        slo = SloTracker(policies)
+        assert slo.attainment("fast") == 1.0  # empty tier not in violation
+        for v in (0.5, 0.8, 2.0, 0.9):
+            slo.record("fast", v)
+        assert slo.attainment("fast") == pytest.approx(0.75)
+        row = slo.summary()["fast"]
+        assert row["count"] == 4 and row["max_s"] == 2.0
+        assert row["p50_s"] <= row["p95_s"] <= row["p99_s"] <= 2.0

@@ -1,0 +1,275 @@
+"""End-to-end serving: determinism vs the direct forecaster, caching,
+batch savings, backpressure/timeout behavior, and chaos under worker
+fail-stops."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import SolverConfig
+from repro.obs import TraceReport
+from repro.parallel import SimCluster
+from repro.resilience import FailStop, FaultInjector, FaultPlan
+from repro.serve import (BatcherConfig, ForecastRequest, ForecastService,
+                         OneStepForecaster, QueueConfig, ServeWorkerPool,
+                         ServiceConfig, TierPolicy, TierRouter)
+
+# A fast standard tier so solver-tier tests stay cheap; default high tier
+# kept for routing coverage.
+FAST_STANDARD = TierRouter().with_policy(TierPolicy(
+    name="standard", priority=1, solver_config=SolverConfig(n_steps=2)))
+
+
+def make_service(serve_world, with_student=False, **kwargs):
+    _, forecaster, student, _ = serve_world
+    kwargs.setdefault("router", FAST_STANDARD)
+    return ForecastService(forecaster,
+                           student=student if with_student else None,
+                           **kwargs)
+
+
+def request(serve_world, **kwargs):
+    archive, _, _, idx = serve_world
+    kwargs.setdefault("init_state", archive.fields[idx])
+    kwargs.setdefault("start_index", idx)
+    kwargs.setdefault("n_steps", 2)
+    return ForecastRequest(**kwargs)
+
+
+class TestDeterminism:
+    def test_served_standard_tier_matches_direct_rollout(self, serve_world):
+        archive, forecaster, _, idx = serve_world
+        svc = make_service(serve_world)
+        resp = svc.serve(request(serve_world, n_members=3, seed=7))
+        assert resp.ok and resp.forecast.dtype == np.float32
+        direct = type(forecaster)(
+            model=forecaster.model, state_norm=forecaster.state_norm,
+            residual_norm=forecaster.residual_norm,
+            forcing_fn=forecaster.forcing_fn,
+            forcing_norm=forecaster.forcing_norm, flow=forecaster.flow,
+            solver_config=SolverConfig(n_steps=2),
+        ).ensemble_rollout(archive.fields[idx], n_steps=2, n_members=3,
+                           seed=7, start_index=idx)
+        assert np.array_equal(resp.forecast, direct)
+
+    def test_served_fast_tier_matches_one_step_student(self, serve_world):
+        archive, forecaster, student, idx = serve_world
+        svc = make_service(serve_world, with_student=True)
+        resp = svc.serve(request(serve_world, tier="fast", n_members=2,
+                                 seed=5))
+        assert resp.ok
+        direct = OneStepForecaster(
+            model=student, state_norm=forecaster.state_norm,
+            residual_norm=forecaster.residual_norm,
+            forcing_fn=forecaster.forcing_fn,
+            forcing_norm=forecaster.forcing_norm,
+            flow=forecaster.flow,
+        ).ensemble_rollout(archive.fields[idx], n_steps=2, n_members=2,
+                           seed=5, start_index=idx)
+        assert np.array_equal(resp.forecast, direct)
+
+    def test_variable_subsetting(self, serve_world):
+        names = [f"v{i}" for i in range(9)]
+        svc = make_service(serve_world, variable_names=names)
+        full = svc.serve(request(serve_world, seed=3))
+        subset = svc.serve(request(serve_world, seed=3,
+                                   variables=("v2", "v5")))
+        assert subset.ok and subset.forecast.shape[-1] == 2
+        assert np.array_equal(subset.forecast, full.forecast[..., [2, 5]])
+
+
+class TestCachingThroughService:
+    def test_repeat_query_is_all_hits_and_bit_identical(self, serve_world):
+        svc = make_service(serve_world)
+        first = svc.serve(request(serve_world, n_members=2, seed=1))
+        again = svc.serve(request(serve_world, n_members=2, seed=1))
+        assert first.cache_hits == 0 and first.cache_misses == 2
+        assert again.cache_hits == 4 and again.cache_misses == 0  # 2m x 2l
+        assert np.array_equal(first.forecast, again.forecast)
+
+    def test_longer_query_resumes_from_cached_prefix(self, serve_world):
+        archive, _, _, idx = serve_world
+        svc = make_service(serve_world)
+        svc.serve(request(serve_world, n_steps=2, n_members=2, seed=1))
+        longer = svc.serve(request(serve_world, n_steps=3, n_members=2,
+                                   seed=1))
+        assert longer.cache_hits == 4  # the 2-step prefix of both members
+        direct = svc._steppers["standard"].ensemble_rollout(
+            archive.fields[idx], n_steps=3, n_members=2, seed=1,
+            start_index=idx)
+        assert np.array_equal(longer.forecast, direct)
+
+    def test_different_seed_does_not_hit(self, serve_world):
+        svc = make_service(serve_world)
+        svc.serve(request(serve_world, seed=1))
+        other = svc.serve(request(serve_world, seed=2))
+        assert other.cache_hits == 0
+
+
+class TestBatching:
+    def test_coalesced_requests_complete_in_one_batch(self, serve_world):
+        svc = make_service(serve_world)
+        reqs = [request(serve_world, n_members=2, seed=s, arrival_s=0.0)
+                for s in range(3)]
+        resps = svc.run(reqs)
+        assert all(r.ok for r in resps)
+        assert {r.batch_members for r in resps} == {6}
+        assert svc.pool.n_dispatches == 1
+
+    def test_ensemble_served_in_fewer_forwards_than_sequential(
+            self, serve_world, obs_on):
+        """The headline batching win: an 8-member request costs one
+        stacked forward per solver evaluation, not eight."""
+        _, forecaster, _, _ = serve_world
+        svc = make_service(serve_world)
+        resp = svc.serve(request(serve_world, n_steps=1, n_members=8))
+        registry = obs_on.metrics()
+        forwards = registry.counter("sampler.model_forwards")
+        served = forwards.total()
+        assert resp.batch_forwards == served == 3  # one 2S update + denoise
+        seq = type(forecaster)(
+            model=forecaster.model, state_norm=forecaster.state_norm,
+            residual_norm=forecaster.residual_norm,
+            forcing_fn=forecaster.forcing_fn,
+            forcing_norm=forecaster.forcing_norm, flow=forecaster.flow,
+            solver_config=SolverConfig(n_steps=2))
+        seq.ensemble_rollout(resp.request.init_state, n_steps=1, n_members=8,
+                             seed=0, start_index=resp.request.start_index,
+                             batched=False)
+        sequential = forwards.total() - served
+        assert sequential == 8 * 3
+        assert served < sequential
+        # Same member-evaluation count either way — batching saves
+        # forwards, not math.
+        assert registry.counter("sampler.member_forwards").total() == 48
+
+
+class TestBackpressure:
+    def test_queue_full_rejection(self, serve_world):
+        svc = make_service(serve_world,
+                           config=ServiceConfig(
+                               queue=QueueConfig(max_depth=1),
+                               batcher=BatcherConfig(max_requests=1)))
+        reqs = [request(serve_world, seed=s, arrival_s=0.0)
+                for s in range(3)]
+        statuses = sorted(r.status for r in svc.run(reqs))
+        assert statuses == ["completed", "rejected", "rejected"]
+        assert svc.tally["rejected"] == 2
+
+    def test_unavailable_tier_rejected(self, serve_world):
+        svc = make_service(serve_world)  # no student
+        resp = svc.serve(request(serve_world, tier="fast"))
+        assert resp.status == "rejected" and "tier_unavailable" in resp.error
+
+    def test_bad_shape_rejected(self, serve_world):
+        svc = make_service(serve_world)
+        bad = np.zeros((2, 2, 9), dtype=np.float32)
+        resp = svc.serve(ForecastRequest(init_state=bad, n_steps=1))
+        assert resp.status == "rejected" and "bad_shape" in resp.error
+
+    def test_unknown_variable_rejected(self, serve_world):
+        svc = make_service(serve_world,
+                           variable_names=[f"v{i}" for i in range(9)])
+        resp = svc.serve(request(serve_world, variables=("nope",)))
+        assert resp.status == "rejected"
+        assert "unknown_variable" in resp.error
+
+    def test_deadline_miss_is_timeout(self, serve_world):
+        router = FAST_STANDARD.with_policy(TierPolicy(
+            name="standard", priority=1,
+            solver_config=SolverConfig(n_steps=2), deadline_s=1e-9))
+        svc = make_service(serve_world, router=router,
+                           config=ServiceConfig(
+                               batcher=BatcherConfig(max_requests=1)))
+        reqs = [request(serve_world, seed=s, arrival_s=0.0)
+                for s in range(2)]
+        statuses = sorted(r.status for r in svc.run(reqs))
+        # The head request dispatches immediately; the one behind it
+        # outlives the (absurd) deadline while the worker is busy.
+        assert statuses == ["completed", "timeout"]
+        assert svc.tally["timeout"] == 1
+
+
+class TestResilience:
+    def test_failover_mid_flight(self, serve_world, obs_on):
+        """A worker that fail-stops after serving once: the next batch
+        headed its way fails over instead of dropping."""
+        plan = FaultPlan(events=(FailStop(rank=0, step=1),))
+        cluster = SimCluster(3, injector=FaultInjector(plan))
+        pool = ServeWorkerPool(2, cluster=cluster)
+        done = []
+        pool.dispatch(0.0, lambda: done.append("a"),
+                      payload=np.ones(8, dtype=np.float32))
+        # Pin worker 1 busy so the doomed worker 0 is picked again.
+        pool.workers[1].free_at = 100.0
+        worker, _, _ = pool.dispatch(0.0, lambda: done.append("b"),
+                                     payload=np.ones(8, dtype=np.float32))
+        assert done == ["a", "b"] and worker.rank == 1
+        assert not pool.workers[0].alive
+        registry = obs_on.metrics()
+        assert registry.counter("serve.worker_failovers").total() == 1
+        assert registry.counter("resilience.dead_ranks").total(
+            scope="serve") == 1
+
+    def test_chaos_run_completes_all_accepted_requests(self, serve_world,
+                                                       obs_on):
+        """One of two workers is dead on arrival: every accepted request
+        still completes on the survivor, and the fault ledger reconciles."""
+        plan = FaultPlan(events=(FailStop(rank=0, step=0),))
+        cluster = SimCluster(3, injector=FaultInjector(plan))
+        svc = make_service(serve_world,
+                           config=ServiceConfig(
+                               n_workers=2,
+                               batcher=BatcherConfig(max_requests=1)),
+                           cluster=cluster)
+        reqs = [request(serve_world, seed=s, arrival_s=0.0)
+                for s in range(3)]
+        resps = svc.run(reqs)
+        assert all(r.ok for r in resps)
+        assert all(r.worker == 1 for r in resps)
+        assert svc.pool.stats()["live"] == 1
+        report = TraceReport()
+        assert report.serve_check(svc)["agrees"]
+        assert report.resilience_check(cluster.injector)["agrees"]
+
+    def test_total_capacity_loss_fails_requests(self, serve_world):
+        plan = FaultPlan(events=(FailStop(rank=0, step=0),))
+        svc = make_service(serve_world,
+                           config=ServiceConfig(n_workers=1),
+                           injector=FaultInjector(plan))
+        resps = svc.run([request(serve_world, seed=s, arrival_s=0.0)
+                         for s in range(2)])
+        assert [r.status for r in resps] == ["failed", "failed"]
+        # Conservation still holds: accepted == completed+timeout+failed.
+        assert svc.tally["accepted"] == svc.tally["failed"] == 2
+
+
+class TestObservability:
+    def test_serve_check_reconciles(self, serve_world, obs_on):
+        svc = make_service(serve_world,
+                           config=ServiceConfig(
+                               queue=QueueConfig(max_depth=1),
+                               batcher=BatcherConfig(max_requests=1)))
+        svc.run([request(serve_world, seed=s, arrival_s=0.0)
+                 for s in range(3)])
+        report = TraceReport()
+        check = report.serve_check(svc)
+        assert check["agrees"]
+        assert check["per_event"]["completed"]["counter"] == 1
+        assert check["per_event"]["rejected"]["counter"] == 2
+        assert check["serve_spans"] > 0
+        assert "serve requests" in report.render()
+
+    def test_serve_check_catches_lost_requests(self, serve_world, obs_on):
+        svc = make_service(serve_world)
+        svc.serve(request(serve_world))
+        svc.tally["completed"] -= 1  # simulate a dropped response
+        assert not TraceReport().serve_check(svc)["agrees"]
+
+    def test_stats_surface(self, serve_world):
+        svc = make_service(serve_world)
+        svc.serve(request(serve_world, n_members=2))
+        stats = svc.stats()
+        assert stats["tally"]["completed"] == 1
+        assert stats["cache"]["entries"] == 4
+        assert stats["workers"]["dispatches"] == 1
+        assert stats["slo"]["standard"]["count"] == 1

@@ -8,6 +8,11 @@ package is exempt (its exporters *are* the sanctioned output path).
 
 Token-based, so docstrings and comments mentioning ``print(`` are fine.
 Exits non-zero listing offending ``file:line`` locations.
+
+Usage::
+
+    python tools/check_no_print.py                  # all of src/repro
+    python tools/check_no_print.py src/repro/serve  # just one package
 """
 
 from __future__ import annotations
@@ -36,26 +41,33 @@ def print_calls(path: str) -> list[int]:
     return lines
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    roots = [os.path.abspath(p) for p in (argv or [])] or [SRC]
+    for root in roots:
+        if not os.path.isdir(root):
+            sys.stderr.write(f"check_no_print: not a directory: {root}\n")
+            return 2
     violations: list[str] = []
-    for dirpath, _dirnames, filenames in sorted(os.walk(SRC)):
-        if any(dirpath == d or dirpath.startswith(d + os.sep)
-               for d in EXEMPT_DIRS):
-            continue
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
+    for root in roots:
+        for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+            if any(dirpath == d or dirpath.startswith(d + os.sep)
+                   for d in EXEMPT_DIRS):
                 continue
-            path = os.path.join(dirpath, filename)
-            for line in print_calls(path):
-                rel = os.path.relpath(path, REPO_ROOT)
-                violations.append(f"{rel}:{line}: print() call "
-                                  "(route output through repro.obs)")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                for line in print_calls(path):
+                    rel = os.path.relpath(path, REPO_ROOT)
+                    violations.append(f"{rel}:{line}: print() call "
+                                      "(route output through repro.obs)")
     if violations:
         sys.stderr.write("\n".join(violations) + "\n")
         return 1
-    sys.stdout.write("check_no_print: OK\n")
+    sys.stdout.write(f"check_no_print: OK ({len(roots)} root"
+                     f"{'s' if len(roots) != 1 else ''})\n")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
