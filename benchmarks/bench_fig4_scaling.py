@@ -64,9 +64,30 @@ def build_report(wp, gas, weak) -> str:
     return "\n".join(lines) + "\n"
 
 
+def structured_data(wp, gas, weak) -> dict:
+    """Numeric payload for the JSON sidecar (regression-gated in CI)."""
+    return {
+        "wp_strong": {
+            f"wp{est.nodes}": {"images_per_sec": est.images_per_sec,
+                               "efficiency": eff}
+            for est, eff in zip(wp, scaling_efficiency(wp))},
+        "gas_strong": {
+            f"dp{est.dp}": {"images_per_sec": est.images_per_sec,
+                            "efficiency": eff}
+            for est, eff in zip(gas, scaling_efficiency(gas))},
+        "weak": {
+            name: {f"dp{est.dp}": {"images_per_sec": est.images_per_sec,
+                                   "ef_sustained": est.ef_sustained,
+                                   "efficiency": eff}
+                   for est, eff in zip(series, scaling_efficiency(series))}
+            for name, series in weak.items()},
+    }
+
+
 def test_fig4_scaling(benchmark):
     wp, gas, weak = benchmark.pedantic(run_series, rounds=1, iterations=1)
-    write_result("fig4_scaling.txt", build_report(wp, gas, weak))
+    write_result("fig4_scaling.txt", build_report(wp, gas, weak),
+                 data=structured_data(wp, gas, weak))
 
     wp_eff = scaling_efficiency(wp)
     assert abs(wp_eff[1] - 0.87) < 0.05

@@ -1,63 +1,60 @@
 """Kernel microbenchmarks: the hot operations of the reproduction.
 
 These use pytest-benchmark's statistical timing (multiple rounds), unlike
-the figure benches which run their expensive workload once.
+the figure benches which run their expensive workload once.  Workload
+definitions live in :mod:`kernel_workloads` (shared with
+``run_benches.py``); each optimized workload gets a ``_reference`` twin
+that runs the same computation with the kernel layer disabled, so a single
+``pytest benchmarks/bench_kernels.py`` shows the before/after side by side.
 """
 
 import numpy as np
-import pytest
+
+from kernel_workloads import (
+    aeris_forward_tiny,
+    aeris_train_step_tiny,
+    gcm_step,
+    ulysses_alltoall_attention,
+    window_attention_forward,
+    window_partition_roundtrip,
+)
 
 from repro.data import GcmConfig, LatLonGrid, StaticFields, ToyGCM
-from repro.model import TINY, Aeris, window_merge, window_partition
-from repro.nn import MultiHeadAttention
-from repro.parallel import SimCluster, shard_sequence, ulysses_attention
-from repro.tensor import Tensor, no_grad
-
-rng = np.random.default_rng(0)
+from repro.model import TINY
 
 
 def test_window_partition_roundtrip(benchmark):
-    x = Tensor(rng.normal(size=(4, 32, 64, 32)).astype(np.float32))
+    w = window_partition_roundtrip()
+    out = benchmark(w.optimized)
+    assert out.shape == (4, 32, 64, 32)
 
-    def roundtrip():
-        w = window_partition(x, (8, 8))
-        return window_merge(w, (32, 64), (8, 8))
 
-    out = benchmark(roundtrip)
-    assert out.shape == x.shape
+def test_window_partition_roundtrip_reference(benchmark):
+    w = window_partition_roundtrip()
+    out = benchmark(w.reference)
+    assert out.shape == (4, 32, 64, 32)
 
 
 def test_window_attention_forward(benchmark):
-    attn = MultiHeadAttention(64, 4, rng=rng)
-    x = Tensor(rng.normal(size=(2, 16, 64, 64)).astype(np.float32))
+    w = window_attention_forward()
+    out = benchmark(w.optimized)
+    assert out.shape == (2, 16, 64, 64)
 
-    def forward():
-        with no_grad():
-            return attn(x)
 
-    out = benchmark(forward)
-    assert out.shape == x.shape
+def test_window_attention_forward_reference(benchmark):
+    w = window_attention_forward()
+    out = benchmark(w.reference)
+    assert out.shape == (2, 16, 64, 64)
 
 
 def test_ulysses_alltoall_attention(benchmark):
-    sp = 4
-    cluster = SimCluster(sp, ranks_per_node=sp)
-    shape = (8, 64, 4, 16)
-    q = rng.normal(size=shape).astype(np.float32)
-    k = rng.normal(size=shape).astype(np.float32)
-    v = rng.normal(size=shape).astype(np.float32)
-    qs, ks, vs = (shard_sequence(a, sp) for a in (q, k, v))
-
-    out = benchmark(lambda: ulysses_attention(cluster, list(range(sp)),
-                                              qs, ks, vs))
-    assert len(out) == sp
+    w = ulysses_alltoall_attention()
+    out = benchmark(w.optimized)
+    assert len(out) == 4
 
 
 def test_gcm_step(benchmark):
-    grid = LatLonGrid(24, 48)
-    gcm = ToyGCM(grid, StaticFields.generate(grid), GcmConfig())
-    state = gcm.initial_state(seed=0, spinup_steps=40)
-    benchmark(lambda: gcm.step(state))
+    benchmark(gcm_step().optimized)
 
 
 def test_gcm_diagnostics(benchmark):
@@ -69,37 +66,29 @@ def test_gcm_diagnostics(benchmark):
 
 
 def test_aeris_forward_tiny(benchmark):
-    model = Aeris(TINY, seed=0)
-    cfg = TINY
-    x_t = Tensor(rng.normal(size=(1, cfg.height, cfg.width, cfg.channels)
-                            ).astype(np.float32))
-    t = Tensor(np.array([0.5], np.float32))
-    cond = Tensor(rng.normal(size=x_t.shape).astype(np.float32))
-    forc = Tensor(rng.normal(
-        size=(1, cfg.height, cfg.width, cfg.forcing_channels)
-    ).astype(np.float32))
+    w = aeris_forward_tiny()
+    out = benchmark(w.optimized)
+    assert out.shape == (1, TINY.height, TINY.width, TINY.channels)
 
-    def forward():
-        with no_grad():
-            return model(x_t, t, cond, forc)
 
-    out = benchmark(forward)
-    assert out.shape == x_t.shape
+def test_aeris_forward_tiny_reference(benchmark):
+    w = aeris_forward_tiny()
+    benchmark(w.reference)
 
 
 def test_aeris_train_step_tiny(benchmark):
-    model = Aeris(TINY, seed=0)
-    cfg = TINY
-    x_t = rng.normal(size=(2, cfg.height, cfg.width, cfg.channels)
-                     ).astype(np.float32)
-    t = np.full(2, 0.5, np.float32)
-    cond = rng.normal(size=x_t.shape).astype(np.float32)
-    forc = rng.normal(size=(2, cfg.height, cfg.width, cfg.forcing_channels)
-                      ).astype(np.float32)
+    benchmark(aeris_train_step_tiny().optimized)
 
-    def step():
-        model.zero_grad()
-        out = model(Tensor(x_t), Tensor(t), Tensor(cond), Tensor(forc))
-        (out ** 2).mean().backward()
 
-    benchmark(step)
+def test_aeris_train_step_tiny_reference(benchmark):
+    benchmark(aeris_train_step_tiny().reference)
+
+
+def test_optimized_paths_match_reference():
+    """Spot-check (also held exhaustively by tests/kernels/test_golden.py):
+    every paired workload's two callables agree bit-for-bit."""
+    for factory in (window_attention_forward, window_partition_roundtrip,
+                    aeris_forward_tiny):
+        w = factory()
+        a, b = w.optimized(), w.reference()
+        np.testing.assert_array_equal(a.numpy(), b.numpy(), err_msg=w.name)

@@ -53,9 +53,21 @@ def build_table(rows) -> str:
     return "\n".join(lines) + "\n"
 
 
+def structured_data(rows) -> dict:
+    """Numeric payload for the JSON sidecar (regression-gated in CI)."""
+    return {name: {"tflops_per_tile": est.tflops_per_tile,
+                   "mfu": est.mfu,
+                   "ef_sustained": est.ef_sustained,
+                   "ef_peak": est.ef_peak,
+                   "images_per_sec": est.images_per_sec,
+                   "nodes": est.nodes}
+            for name, _, est in rows}
+
+
 def test_table3_throughput(benchmark):
     rows = benchmark.pedantic(run_estimates, rounds=1, iterations=1)
-    write_result("table3_throughput.txt", build_table(rows))
+    write_result("table3_throughput.txt", build_table(rows),
+                 data=structured_data(rows))
     by_name = {name: est for name, _, est in rows}
     # Shape: the 40B configuration is the headline (highest sustained EF),
     # and every modeled sustained EF is within 50% of the paper's.

@@ -23,7 +23,9 @@ from repro.data import ReanalysisConfig, SyntheticReanalysis
 from repro.model import Aeris, AerisConfig, ParallelLayout
 from repro.train import Trainer, TrainerConfig
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# run_benches.py redirects sidecars (e.g. into a CI artifact dir) via env.
+RESULTS_DIR = os.environ.get("BENCH_RESULTS_DIR") or os.path.join(
+    os.path.dirname(__file__), "results")
 
 #: The benchmark model: same architecture as the paper's, toy scale.
 BENCH_CONFIG = AerisConfig(

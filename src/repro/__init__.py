@@ -6,6 +6,9 @@ A from-scratch, pure-NumPy reproduction of the complete AERIS system:
 * :mod:`repro.tensor` — autograd engine with FLOP counting + emulated BF16;
 * :mod:`repro.nn` — transformer layer library (RMSNorm, SwiGLU, attention,
   AdamW, EMA);
+* :mod:`repro.kernels` — plan-cached, fused hot-path kernels (window
+  partition/merge gathers, RoPE tables, softmax(QKᵀ)·V) that are bit-exact
+  against the reference paths;
 * :mod:`repro.model` — the pixel-level Swin diffusion transformer and the
   paper's Table II configurations;
 * :mod:`repro.diffusion` — TrigFlow objective, DPMSolver++ 2S sampler with
@@ -35,8 +38,8 @@ Quickstart::
     forecaster = trainer.forecaster()
 """
 
-from . import baselines, data, diffusion, eval, model, nn, obs, parallel
-from . import perf, resilience, serve, tensor, train
+from . import baselines, data, diffusion, eval, kernels, model, nn, obs
+from . import parallel, perf, resilience, serve, tensor, train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -45,7 +48,7 @@ from .train import Trainer, TrainerConfig
 __version__ = "1.0.0"
 
 __all__ = [
-    "tensor", "nn", "model", "diffusion", "data", "parallel", "perf",
+    "tensor", "nn", "kernels", "model", "diffusion", "data", "parallel", "perf",
     "train", "baselines", "eval", "obs", "resilience", "serve",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",

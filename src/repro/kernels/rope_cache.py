@@ -1,0 +1,42 @@
+"""Memoized axial 2D RoPE rotation tables.
+
+Every Swin block (and every SWiPe sharded attention call) needs the same
+``(cos, sin)`` tables for a given ``(window, head_dim, base, dtype)`` —
+the tables depend only on within-window token coordinates, so shifted and
+unshifted windows, all blocks of a model, and all models of a process can
+share one pair of read-only arrays.  The builder delegates to the canonical
+:func:`repro.model.rope.axial_rope_table`, so cached tables are bitwise
+identical to freshly built ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plan_cache import LRUCache
+
+__all__ = ["rope_tables"]
+
+_ROPE_TABLES = LRUCache("rope_tables", maxsize=32)
+
+
+def rope_tables(window: tuple[int, int], head_dim: int, base: float = 100.0,
+                dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+    """Cached, read-only ``(cos, sin)`` tables of shape
+    ``(wh*ww, head_dim // 2)``; keyed by ``(window, head_dim, base, dtype)``."""
+    window = (int(window[0]), int(window[1]))
+    dtype = np.dtype(dtype)
+    key = (window, int(head_dim), float(base), dtype.str)
+
+    def build() -> tuple[np.ndarray, np.ndarray]:
+        # Imported lazily: repro.nn (our importer's package) is itself
+        # imported by repro.model, so a top-level import would be circular.
+        from ..model.rope import axial_rope_table
+        cos, sin = axial_rope_table(window, head_dim, base)
+        cos = cos.astype(dtype, copy=False)
+        sin = sin.astype(dtype, copy=False)
+        cos.setflags(write=False)
+        sin.setflags(write=False)
+        return cos, sin
+
+    return _ROPE_TABLES.get_or_build(key, build)

@@ -1,0 +1,161 @@
+"""Memoized window partition/merge plans with the cyclic shift folded in.
+
+The reference data path for one (shifted) Swin attention is four separate
+array movements per direction::
+
+    roll -> reshape -> transpose -> reshape       (partition)
+    reshape -> transpose -> reshape -> roll       (merge)
+
+Each is a full copy of the activation grid.  But the composition is just a
+fixed permutation of the ``H*W`` token axis, so it collapses to a single
+gather whose index vector depends only on ``(grid, window, shift)``.
+:func:`window_plan` builds that gather (and its inverse) once per key and
+caches it; :func:`plan_partition` / :func:`plan_merge` apply it as one
+``np.take`` per direction, with an autograd backward that is the inverse
+gather (no ``np.add.at`` scatter — the map is a bijection).
+
+Bit-exactness: a permutation moves values without touching them, so the
+planned path produces byte-identical outputs and gradients to the reference
+``cyclic_shift`` + ``window_partition`` + ``window_merge`` chain (golden
+tests in ``tests/kernels/test_golden.py`` hold this to ``np.array_equal``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor import Tensor
+from .plan_cache import LRUCache
+
+__all__ = ["WindowPlan", "window_plan", "plan_partition", "plan_merge"]
+
+_WINDOW_PLANS = LRUCache("window_plans", maxsize=64)
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """A cached shift+partition permutation over one token grid.
+
+    ``gather[t]`` is the flat pixel index (row-major over the *unshifted*
+    grid) feeding window-major token slot ``t``; ``scatter`` is its inverse.
+    """
+
+    grid: tuple[int, int]
+    window: tuple[int, int]
+    shift: tuple[int, int]
+    n_windows: int
+    tokens: int
+    gather: np.ndarray = field(repr=False)
+    scatter: np.ndarray = field(repr=False)
+
+
+def _build_plan(grid: tuple[int, int], window: tuple[int, int],
+                shift: tuple[int, int]) -> WindowPlan:
+    h, w = grid
+    wh, ww = window
+    if h % wh or w % ww:
+        raise ValueError(f"grid {h}x{w} not divisible by window {window}")
+    nh, nw = h // wh, w // ww
+    idx = np.arange(h * w, dtype=np.intp).reshape(h, w)
+    sh, sw = shift
+    if sh or sw:
+        # Matches cyclic_shift: the data is rolled by (-sh, -sw), i.e. the
+        # pixel landing at p comes from np.roll(idx, (-sh, -sw))[p].
+        idx = np.roll(idx, (-sh, -sw), axis=(0, 1))
+    gather = (idx.reshape(nh, wh, nw, ww)
+                 .transpose(0, 2, 1, 3)
+                 .reshape(-1))
+    scatter = np.empty_like(gather)
+    scatter[gather] = np.arange(h * w, dtype=np.intp)
+    gather.setflags(write=False)
+    scatter.setflags(write=False)
+    return WindowPlan(grid=grid, window=window, shift=shift,
+                      n_windows=nh * nw, tokens=wh * ww,
+                      gather=gather, scatter=scatter)
+
+
+def window_plan(grid: tuple[int, int], window: tuple[int, int],
+                shift: tuple[int, int] = (0, 0)) -> WindowPlan:
+    """The memoized plan for ``(grid, window, shift)``."""
+    grid = (int(grid[0]), int(grid[1]))
+    window = (int(window[0]), int(window[1]))
+    shift = (int(shift[0]), int(shift[1]))
+    key = (grid, window, shift)
+    return _WINDOW_PLANS.get_or_build(
+        key, lambda: _build_plan(grid, window, shift))
+
+
+def _partition_axes(a: np.ndarray, window: tuple[int, int]) -> np.ndarray:
+    """Window-major reorder of ``(B, H, W, D)`` by reshape/transpose (the
+    fast path when no shift is folded in — NumPy fuses it into one copy)."""
+    b, h, w, d = a.shape
+    wh, ww = window
+    return (a.reshape(b, h // wh, wh, w // ww, ww, d)
+             .transpose(0, 1, 3, 2, 4, 5)
+             .reshape(b, (h // wh) * (w // ww), wh * ww, d))
+
+
+def _merge_axes(a: np.ndarray, grid: tuple[int, int],
+                window: tuple[int, int]) -> np.ndarray:
+    b = a.shape[0]
+    d = a.shape[-1]
+    h, w = grid
+    wh, ww = window
+    return (a.reshape(b, h // wh, w // ww, wh, ww, d)
+             .transpose(0, 1, 3, 2, 4, 5)
+             .reshape(b, h, w, d))
+
+
+def plan_partition(x: Tensor, plan: WindowPlan) -> Tensor:
+    """``(B, H, W, D)`` -> ``(B, n_windows, wh*ww, D)`` as one graph node.
+
+    Shifted plans apply shift+partition as a single cached-index gather;
+    unshifted plans take the plain reshape/transpose copy (faster than a
+    gather when there is no roll to fold in).  Both are permutations, so
+    outputs and gradients are bit-identical to the reference chain.
+    """
+    b, h, w, d = x.shape
+    if (h, w) != plan.grid:
+        raise ValueError(f"input grid {(h, w)} != plan grid {plan.grid}")
+    shifted = plan.shift != (0, 0)
+    if shifted:
+        flat = x.data.reshape(b, h * w, d)
+        data = np.take(flat, plan.gather, axis=1).reshape(
+            b, plan.n_windows, plan.tokens, d)
+    else:
+        data = _partition_axes(x.data, plan.window)
+
+    def backward(g):
+        if shifted:
+            gf = g.reshape(b, h * w, d)
+            return (np.take(gf, plan.scatter, axis=1).reshape(b, h, w, d),)
+        return (_merge_axes(g, plan.grid, plan.window),)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def plan_merge(windows: Tensor, plan: WindowPlan) -> Tensor:
+    """Inverse of :func:`plan_partition` (merge + un-shift in one node)."""
+    b = windows.shape[0]
+    d = windows.shape[-1]
+    h, w = plan.grid
+    if windows.shape[1] * windows.shape[2] != h * w:
+        raise ValueError(f"window stack {windows.shape} does not cover "
+                         f"grid {plan.grid}")
+    shifted = plan.shift != (0, 0)
+    if shifted:
+        flat = windows.data.reshape(b, h * w, d)
+        data = np.take(flat, plan.scatter, axis=1).reshape(b, h, w, d)
+    else:
+        data = _merge_axes(windows.data, plan.grid, plan.window)
+
+    def backward(g):
+        if shifted:
+            gf = g.reshape(b, h * w, d)
+            return (np.take(gf, plan.gather, axis=1).reshape(
+                b, plan.n_windows, plan.tokens, d),)
+        return (_partition_axes(g, plan.window),)
+
+    return Tensor._make(data, (windows,), backward)

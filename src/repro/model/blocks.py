@@ -5,6 +5,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import (
+    kernels_enabled,
+    plan_merge,
+    plan_partition,
+    rope_tables,
+    window_plan,
+)
 from ..nn import (
     AdaLNModulation,
     Module,
@@ -16,7 +23,6 @@ from ..nn import (
 )
 from ..tensor import Tensor
 from .config import AerisConfig
-from .rope import axial_rope_table
 from .windows import cyclic_shift, window_merge, window_partition
 
 __all__ = ["SwinBlock", "SwinLayer"]
@@ -50,11 +56,23 @@ class SwinBlock(Module):
         self.ffn = SwiGLU(config.dim, config.ffn_dim, rng=rng)
         self.ada_attn = AdaLNModulation(config.dim, config.dim, rng=rng)
         self.ada_ffn = AdaLNModulation(config.dim, config.dim, rng=rng)
-        self.rope_cos, self.rope_sin = axial_rope_table(
+        # Cached process-wide: every block of every model shares one pair of
+        # read-only tables per (window, head_dim).
+        self.rope_cos, self.rope_sin = rope_tables(
             config.window, config.head_dim)
 
     def attend(self, h: Tensor) -> Tensor:
-        """Shift → partition → window attention → merge → unshift."""
+        """Shift → partition → window attention → merge → unshift.
+
+        On the planned path the shift+partition (and merge+unshift)
+        round-trips collapse to one cached-index gather each.
+        """
+        if kernels_enabled():
+            plan = window_plan((h.shape[1], h.shape[2]), self.window,
+                               self.shift if self.shifted else (0, 0))
+            windows = plan_partition(h, plan)
+            windows = self.attn(windows, self.rope_cos, self.rope_sin)
+            return plan_merge(windows, plan)
         if self.shifted:
             h = cyclic_shift(h, self.shift)
         windows = window_partition(h, self.window)

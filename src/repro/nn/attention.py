@@ -14,6 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import (
+    fused_apply_rotary,
+    fused_dot_product_attention,
+    kernels_enabled,
+)
 from ..tensor import Tensor, stack
 from .linear import Linear
 from .module import Module
@@ -93,10 +98,16 @@ class MultiHeadAttention(Module):
         del perm
         qkv = qkv.transpose(order)
         q, k, v = qkv[0], qkv[1], qkv[2]
+        # The fused kernels are drop-in (bit-exact) for the default core
+        # only; a custom attn_core (e.g. sequence parallelism) keeps the
+        # reference rotary so its sharded tables see identical math.
+        fused = kernels_enabled() and self.attn_core is dot_product_attention
         if rope_cos is not None:
-            q = apply_rotary(q, rope_cos, rope_sin)
-            k = apply_rotary(k, rope_cos, rope_sin)
-        out = self.attn_core(q, k, v)                         # (..., H, T, hd)
+            rotary = fused_apply_rotary if fused else apply_rotary
+            q = rotary(q, rope_cos, rope_sin)
+            k = rotary(k, rope_cos, rope_sin)
+        core = fused_dot_product_attention if fused else self.attn_core
+        out = core(q, k, v)                                   # (..., H, T, hd)
         # -> (..., T, H*hd)
         out = out.swapaxes(-2, -3).reshape(*lead, tokens, dim)
         return self.out(out)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..kernels import fused_swiglu_forward, kernels_enabled
+from ..tensor import Tensor, is_grad_enabled
 from .linear import Linear
 from .module import Module
 
@@ -21,4 +22,9 @@ class SwiGLU(Module):
         self.down = Linear(hidden_dim, dim, bias=False, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if kernels_enabled() and not is_grad_enabled():
+            # Inference: hidden-width intermediates live in arena scratch.
+            return Tensor(fused_swiglu_forward(
+                x, self.gate.weight.data, self.up.weight.data,
+                self.down.weight.data))
         return self.down(self.gate(x).silu() * self.up(x))

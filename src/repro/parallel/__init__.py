@@ -8,13 +8,18 @@ from .sequence_parallel import shard_sequence, ulysses_attention, unshard_sequen
 from .swipe import SwipeEngine
 from .swipe_attention import swipe_window_attention
 from .topology import RankTopology
-from .window_parallel import WindowSharding, shift_owner_change_bytes
+from .window_parallel import (
+    WindowSharding,
+    shift_owner_change_bytes,
+    window_sharding,
+)
 from .zero import ZeroOptimizer
 
 __all__ = [
     "SimCluster", "CommStats", "RankTopology",
     "shard_sequence", "unshard_sequence", "ulysses_attention",
-    "WindowSharding", "shift_owner_change_bytes", "DomainSharding",
+    "WindowSharding", "window_sharding", "shift_owner_change_bytes",
+    "DomainSharding",
     "AerisPipeline", "ZeroOptimizer",
     "allreduce_gradients", "replicate_model",
     "SwipeEngine", "swipe_window_attention",

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..model.rope import axial_rope_table
+from ..kernels import rope_tables
 from .comm import SimCluster
 from .sequence_parallel import ulysses_attention
 from .topology import RankTopology
-from .window_parallel import WindowSharding
+from .window_parallel import window_sharding
 
 __all__ = ["swipe_window_attention"]
 
@@ -70,10 +70,10 @@ def swipe_window_attention(image: np.ndarray, attention, window: tuple[int, int]
     dim = attention.dim
     w_qkv = attention.qkv.weight.data          # (D, 3D)
     w_out = attention.out.weight.data          # (D, D)
-    cos, sin = axial_rope_table(window, head_dim)
+    cos, sin = rope_tables(window, head_dim)
 
-    sharding = WindowSharding((image.shape[1], image.shape[2]), window,
-                              topology.wp_grid)
+    sharding = window_sharding((image.shape[1], image.shape[2]), window,
+                               topology.wp_grid)
     sh, sw = window[0] // 2, window[1] // 2
     work = np.roll(image, (-sh, -sw), axis=(1, 2)) if shifted else image
     if shifted:

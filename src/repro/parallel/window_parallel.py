@@ -16,10 +16,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.loader import round_robin_assignment
+from ..kernels import LRUCache
 from ..model.windows import window_grid_shape
 from .comm import SimCluster
 
-__all__ = ["WindowSharding", "shift_owner_change_bytes"]
+__all__ = ["WindowSharding", "window_sharding", "shift_owner_change_bytes"]
 
 
 class WindowSharding:
@@ -38,6 +39,34 @@ class WindowSharding:
                                                  wp_grid)
         self.wp = wp_grid[0] * wp_grid[1]
         self._owned = [np.argwhere(self.assignment == r) for r in range(self.wp)]
+        self._gather_plans: list[np.ndarray] | None = None
+        self._gather_source: object = None
+
+    @property
+    def _gather(self) -> list[np.ndarray]:
+        # Lazy + keyed on the identity of `_owned`, so subclasses that
+        # replace the assignment after construction stay consistent.
+        if self._gather_plans is None or self._gather_source is not self._owned:
+            self._gather_plans = self._build_gather()
+            self._gather_source = self._owned
+        return self._gather_plans
+
+    def _build_gather(self) -> list[np.ndarray]:
+        """Per-rank flat pixel indices (window-major, row-major in-window)
+        into the flattened ``H*W`` axis — shard/unshard as single gathers."""
+        h, w = self.grid
+        wh, ww = self.window
+        pixel = np.arange(h * w, dtype=np.intp).reshape(h, w)
+        plans = []
+        for own in self._owned:
+            idx = np.empty((len(own), wh * ww), dtype=np.intp)
+            for n, (i, j) in enumerate(own):
+                idx[n] = pixel[i * wh:(i + 1) * wh,
+                               j * ww:(j + 1) * ww].reshape(-1)
+            flat = idx.reshape(-1)
+            flat.setflags(write=False)
+            plans.append(flat)
+        return plans
 
     @property
     def windows_per_rank(self) -> int:
@@ -49,30 +78,22 @@ class WindowSharding:
 
     # -- shard / unshard ------------------------------------------------------
     def shard(self, image: np.ndarray) -> list[np.ndarray]:
-        """``(B, H, W, D)`` -> per-rank ``(B, n_own, wh*ww, D)`` stacks."""
+        """``(B, H, W, D)`` -> per-rank ``(B, n_own, wh*ww, D)`` stacks
+        (one planned gather per rank)."""
         b, h, w, d = image.shape
         wh, ww = self.window
-        shards = []
-        for rank in range(self.wp):
-            own = self._owned[rank]
-            stack = np.empty((b, len(own), wh * ww, d), dtype=image.dtype)
-            for n, (i, j) in enumerate(own):
-                stack[:, n] = image[:, i * wh:(i + 1) * wh,
-                                    j * ww:(j + 1) * ww, :].reshape(b, wh * ww, d)
-            shards.append(stack)
-        return shards
+        flat = image.reshape(b, h * w, d)
+        return [np.take(flat, idx, axis=1).reshape(b, len(own), wh * ww, d)
+                for own, idx in zip(self._owned, self._gather)]
 
     def unshard(self, shards: list[np.ndarray]) -> np.ndarray:
-        wh, ww = self.window
         b = shards[0].shape[0]
         d = shards[0].shape[-1]
         h, w = self.grid
-        image = np.empty((b, h, w, d), dtype=shards[0].dtype)
-        for rank, stack in enumerate(shards):
-            for n, (i, j) in enumerate(self._owned[rank]):
-                image[:, i * wh:(i + 1) * wh, j * ww:(j + 1) * ww, :] = \
-                    stack[:, n].reshape(b, wh, ww, d)
-        return image
+        flat = np.empty((b, h * w, d), dtype=shards[0].dtype)
+        for stack, idx in zip(shards, self._gather):
+            flat[:, idx] = stack.reshape(b, -1, d)
+        return flat.reshape(b, h, w, d)
 
     # -- window-parallel attention ----------------------------------------------
     def parallel_apply(self, image: np.ndarray, window_fn,
@@ -109,6 +130,22 @@ class WindowSharding:
                                                  * out.shape[-1])
                 cluster.stats.add("p2p", "inter", moved)
         return out
+
+
+_SHARDINGS = LRUCache("window_shardings", maxsize=32)
+
+
+def window_sharding(grid: tuple[int, int], window: tuple[int, int],
+                    wp_grid: tuple[int, int]) -> WindowSharding:
+    """Memoized :class:`WindowSharding` — the assignment, owned-window lists,
+    and gather plans are pure functions of the key, so sharded attention
+    reuses one instance per ``(grid, window, wp_grid)``.  Callers must not
+    mutate the shared instance (subclass instead, as the ablation bench
+    does)."""
+    key = ((int(grid[0]), int(grid[1])), (int(window[0]), int(window[1])),
+           (int(wp_grid[0]), int(wp_grid[1])))
+    return _SHARDINGS.get_or_build(
+        key, lambda: WindowSharding(key[0], key[1], key[2]))
 
 
 def shift_owner_change_bytes(sharding: WindowSharding,

@@ -2,6 +2,7 @@
 
 from .bf16 import autocast_bf16, bf16_matmul_enabled, bf16_ulp, round_bf16
 from .flops import FlopCounter, add_flops, count_flops, flops_enabled
+from .workspace import WorkspaceArena, arena
 from .tensor import (
     Tensor,
     concat,
@@ -20,4 +21,5 @@ __all__ = [
     "no_grad", "is_grad_enabled",
     "FlopCounter", "count_flops", "add_flops", "flops_enabled",
     "round_bf16", "autocast_bf16", "bf16_matmul_enabled", "bf16_ulp",
+    "WorkspaceArena", "arena",
 ]

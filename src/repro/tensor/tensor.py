@@ -185,6 +185,11 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Buffers this sweep allocated itself (first fan-in sum per node);
+        # later fan-in contributions accumulate into them in place instead
+        # of allocating a fresh array per consumer.  Arrays handed back by
+        # backward closures are never mutated — they may alias node grads.
+        owned: set[int] = set()
         with backward_phase():
             for node in reversed(topo):
                 node_grad = grads.pop(id(node), None)
@@ -198,10 +203,15 @@ class Tensor:
                     if pgrad is None or not parent.requires_grad:
                         continue
                     key = id(parent)
-                    if key in grads:
-                        grads[key] = grads[key] + pgrad
-                    else:
+                    if key not in grads:
                         grads[key] = pgrad
+                    elif (key in owned and grads[key].shape == pgrad.shape
+                          and grads[key].dtype == np.result_type(
+                              grads[key], pgrad)):
+                        np.add(grads[key], pgrad, out=grads[key])
+                    else:
+                        grads[key] = grads[key] + pgrad
+                        owned.add(key)
 
     # -- arithmetic -------------------------------------------------------
     @staticmethod

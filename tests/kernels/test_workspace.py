@@ -1,0 +1,94 @@
+"""Workspace arena: pooling semantics, budget enforcement, safety refusals."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, WorkspaceArena, arena, no_grad
+from repro.nn.attention import dot_product_attention
+from repro.kernels import fused_dot_product_attention
+
+
+class TestArenaPooling:
+    def test_get_release_get_reuses_buffer(self):
+        a = WorkspaceArena(max_bytes=1 << 20)
+        buf = a.get((8, 8), np.float32)
+        a.release(buf)
+        again = a.get((8, 8), np.float32)
+        assert again is buf
+        assert a.stats()["hits"] == 1 and a.stats()["misses"] == 1
+
+    def test_shape_and_dtype_key_separately(self):
+        a = WorkspaceArena(max_bytes=1 << 20)
+        buf = a.get((8, 8), np.float32)
+        a.release(buf)
+        assert a.get((8, 8), np.float64) is not buf
+        assert a.get((4, 16), np.float32) is not buf
+
+    def test_budget_drops_oldest_idle_buffers(self):
+        a = WorkspaceArena(max_bytes=1000)
+        first = a.get((100,), np.float32)   # 400 bytes
+        second = a.get((100,), np.float64)  # 800 bytes
+        a.release(first)
+        a.release(second)                   # 1200 pooled -> shrink drops first
+        assert a.pooled_bytes <= 1000
+        assert a.get((100,), np.float64) is second
+        assert a.get((100,), np.float32) is not first
+
+    def test_oversized_request_never_pooled(self):
+        a = WorkspaceArena(max_bytes=100)
+        big = a.get((1000,), np.float32)
+        a.release(big)
+        assert a.pooled_bytes == 0
+
+    def test_views_are_refused(self):
+        a = WorkspaceArena(max_bytes=1 << 20)
+        base = np.empty((16,), dtype=np.float32)
+        a.release(base[:8])
+        assert a.pooled_bytes == 0
+
+    def test_clear_and_stats(self):
+        a = WorkspaceArena(max_bytes=1 << 20)
+        a.release(a.get((4,), np.float32))
+        a.clear()
+        assert a.pooled_bytes == 0
+        a.reset_stats()
+        assert a.stats()["bytes_served"] == 0
+
+    def test_rejects_non_positive_free_reuse_of_distinct_gets(self):
+        # Two outstanding gets of the same key must be distinct buffers.
+        a = WorkspaceArena(max_bytes=1 << 20)
+        x = a.get((8,), np.float32)
+        y = a.get((8,), np.float32)
+        assert x is not y
+
+
+class TestArenaInKernels:
+    def test_inference_attention_reuses_scratch(self):
+        glob = arena()
+        glob.clear()
+        glob.reset_stats()
+        rng = np.random.default_rng(0)
+        q, k, v = (Tensor(rng.normal(size=(2, 4, 16, 8)).astype(np.float32))
+                   for _ in range(3))
+        with no_grad():
+            a = fused_dot_product_attention(q, k, v)
+            b = fused_dot_product_attention(q, k, v)
+        np.testing.assert_array_equal(
+            a.numpy(), dot_product_attention(q, k, v).numpy())
+        np.testing.assert_array_equal(a.numpy(), b.numpy())
+        stats = glob.stats()
+        assert stats["hits"] >= 1  # second call reused the scores buffer
+        assert stats["bytes_served"] > stats["bytes_allocated"]
+
+    def test_training_attention_does_not_pool_graph_buffers(self):
+        glob = arena()
+        glob.clear()
+        rng = np.random.default_rng(1)
+        q, k, v = (Tensor(rng.normal(size=(1, 2, 8, 4)).astype(np.float32),
+                          requires_grad=True) for _ in range(3))
+        out = fused_dot_product_attention(q, k, v)
+        pooled_before_backward = glob.pooled_bytes
+        out.sum().backward()
+        assert q.grad is not None
+        # The probs tensor lives in the graph; it must not have been pooled.
+        assert pooled_before_backward == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the repo lint checkers and their shared walker."""
+
+import os
+import sys
+
+import pytest
+
+TOOLS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "tools")
+sys.path.insert(0, TOOLS_DIR)
+
+import check_bare_except  # noqa: E402
+import check_no_print  # noqa: E402
+import lint  # noqa: E402
+import walklib  # noqa: E402
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A small package tree with one clean file, one print() offender,
+    one bare-except offender, and an exempt subdirectory."""
+    pkg = tmp_path / "pkg"
+    (pkg / "sub").mkdir(parents=True)
+    (pkg / "exempt").mkdir()
+    (pkg / "clean.py").write_text(
+        '"""print( in a docstring is fine."""\n'
+        "# print(also in a comment)\n"
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except ValueError:\n"
+        "        return 0\n")
+    (pkg / "sub" / "printer.py").write_text(
+        "def g():\n"
+        "    print('hot path')\n")
+    (pkg / "sub" / "swallow.py").write_text(
+        "def h():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except:\n"
+        "        return 0\n")
+    (pkg / "exempt" / "printer.py").write_text("print('allowed here')\n")
+    (pkg / "notes.txt").write_text("print( except: — not python\n")
+    return pkg
+
+
+class TestWalklib:
+    def test_yields_only_python_sorted(self, tree):
+        files = list(walklib.iter_python_files([str(tree)]))
+        names = [os.path.relpath(f, str(tree)) for f in files]
+        assert names == sorted(names)
+        assert all(n.endswith(".py") for n in names)
+        assert os.path.join("sub", "printer.py") in names
+
+    def test_exempt_dirs_skipped(self, tree):
+        files = list(walklib.iter_python_files(
+            [str(tree)], exempt_dirs=[str(tree / "exempt")]))
+        rels = [os.path.relpath(f, str(tree)) for f in files]
+        assert rels and not any(r.startswith("exempt") for r in rels)
+
+    def test_resolve_roots_rejects_missing(self, tree, capsys):
+        assert walklib.resolve_roots([str(tree / "nope")]) is None
+        assert "not a directory" in capsys.readouterr().err
+        assert walklib.resolve_roots([str(tree)]) == [str(tree)]
+
+
+class TestCheckNoPrint:
+    def test_finds_offender_not_docstrings(self, tree, capsys):
+        assert check_no_print.main([str(tree / "sub")]) == 1
+        err = capsys.readouterr().err
+        assert "printer.py:2" in err and "clean.py" not in err
+
+    def test_clean_tree_passes(self, tree, capsys):
+        (tree / "sub" / "printer.py").unlink()
+        assert check_no_print.main([str(tree / "sub")]) == 0
+
+    def test_repo_src_is_clean(self):
+        assert check_no_print.main(None) == 0
+
+
+class TestCheckBareExcept:
+    def test_finds_offender_not_typed_handlers(self, tree, capsys):
+        assert check_bare_except.main([str(tree)]) == 1
+        err = capsys.readouterr().err
+        assert "swallow.py:4" in err and "clean.py" not in err
+
+    def test_clean_tree_passes(self, tree):
+        (tree / "sub" / "swallow.py").unlink()
+        assert check_bare_except.main([str(tree)]) == 0
+
+    def test_repo_src_is_clean(self):
+        assert check_bare_except.main(None) == 0
+
+
+class TestLintEntrypoint:
+    def test_fails_if_any_checker_fails(self, tree, capsys):
+        assert lint.main([str(tree)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_passes_on_clean_tree(self, tree):
+        # The exempt/ convention is specific to src/repro (repro/obs); in an
+        # arbitrary tree the lint entrypoint checks every file.
+        (tree / "sub" / "printer.py").unlink()
+        (tree / "sub" / "swallow.py").unlink()
+        (tree / "exempt" / "printer.py").unlink()
+        assert lint.main([str(tree)]) == 0
+
+    def test_registry_covers_both_checkers(self):
+        assert set(lint.CHECKERS) == {"check_no_print", "check_bare_except"}

@@ -19,8 +19,8 @@ import os
 import sys
 import tokenize
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO_ROOT, "src", "repro")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from walklib import iter_python_files, relpath, resolve_roots
 
 
 def bare_excepts(path: str) -> list[int]:
@@ -37,23 +37,22 @@ def bare_excepts(path: str) -> list[int]:
     return lines
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    roots = resolve_roots(argv, program="check_bare_except")
+    if roots is None:
+        return 2
     violations: list[str] = []
-    for dirpath, _dirnames, filenames in sorted(os.walk(SRC)):
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            for line in bare_excepts(path):
-                rel = os.path.relpath(path, REPO_ROOT)
-                violations.append(f"{rel}:{line}: bare except: "
-                                  "(catch a concrete exception type)")
+    for path in iter_python_files(roots):
+        for line in bare_excepts(path):
+            violations.append(f"{relpath(path)}:{line}: bare except: "
+                              "(catch a concrete exception type)")
     if violations:
         sys.stderr.write("\n".join(violations) + "\n")
         return 1
-    sys.stdout.write("check_bare_except: OK\n")
+    sys.stdout.write(f"check_bare_except: OK ({len(roots)} root"
+                     f"{'s' if len(roots) != 1 else ''})\n")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

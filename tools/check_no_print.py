@@ -22,8 +22,9 @@ import os
 import sys
 import tokenize
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO_ROOT, "src", "repro")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from walklib import SRC, iter_python_files, relpath, resolve_roots
+
 EXEMPT_DIRS = (os.path.join(SRC, "obs"),)
 
 
@@ -42,25 +43,14 @@ def print_calls(path: str) -> list[int]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    roots = [os.path.abspath(p) for p in (argv or [])] or [SRC]
-    for root in roots:
-        if not os.path.isdir(root):
-            sys.stderr.write(f"check_no_print: not a directory: {root}\n")
-            return 2
+    roots = resolve_roots(argv, program="check_no_print")
+    if roots is None:
+        return 2
     violations: list[str] = []
-    for root in roots:
-        for dirpath, _dirnames, filenames in sorted(os.walk(root)):
-            if any(dirpath == d or dirpath.startswith(d + os.sep)
-                   for d in EXEMPT_DIRS):
-                continue
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, filename)
-                for line in print_calls(path):
-                    rel = os.path.relpath(path, REPO_ROOT)
-                    violations.append(f"{rel}:{line}: print() call "
-                                      "(route output through repro.obs)")
+    for path in iter_python_files(roots, exempt_dirs=EXEMPT_DIRS):
+        for line in print_calls(path):
+            violations.append(f"{relpath(path)}:{line}: print() call "
+                              "(route output through repro.obs)")
     if violations:
         sys.stderr.write("\n".join(violations) + "\n")
         return 1

@@ -1,0 +1,48 @@
+"""Shared file-walking helpers for the repo lint checkers.
+
+Every checker used to carry its own ``os.walk`` loop with slightly
+different sorting/exemption behavior; this module is the single canonical
+walk: deterministic order, ``.py`` filter, directory exemptions.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, Iterator
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def iter_python_files(roots: Iterable[str],
+                      exempt_dirs: Iterable[str] = ()) -> Iterator[str]:
+    """Yield ``.py`` file paths under ``roots`` in deterministic
+    (sorted) order, skipping any directory that is — or sits inside —
+    an entry of ``exempt_dirs``."""
+    exempt = tuple(os.path.abspath(d) for d in exempt_dirs)
+    for root in roots:
+        for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+            if any(dirpath == d or dirpath.startswith(d + os.sep)
+                   for d in exempt):
+                continue
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def resolve_roots(argv: list[str] | None, default: str = SRC,
+                  program: str = "lint") -> list[str] | None:
+    """CLI roots -> absolute dirs (default ``src/repro``); ``None`` +
+    stderr message if any argument is not a directory."""
+    roots = [os.path.abspath(p) for p in (argv or [])] or [default]
+    for root in roots:
+        if not os.path.isdir(root):
+            sys.stderr.write(f"{program}: not a directory: {root}\n")
+            return None
+    return roots
+
+
+def relpath(path: str) -> str:
+    """Repo-relative form of ``path`` for diagnostics."""
+    return os.path.relpath(path, REPO_ROOT)
