@@ -147,6 +147,17 @@ def run_kernel_benches(rounds: int, warmup: int) -> dict:
     }
 
 
+def run_obs_health_bench(out_dir: str, smoke: bool) -> int:
+    """Run the observability-overhead bench (own process so the global
+    obs state it toggles cannot leak into other benches)."""
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    cmd = [sys.executable, os.path.join(bench_dir, "bench_obs_health.py"),
+           "--out", os.path.abspath(out_dir), "--max-overhead", "0.05"]
+    if smoke:
+        cmd.append("--smoke")
+    return subprocess.run(cmd, cwd=bench_dir).returncode
+
+
 def run_figure_benches(out_dir: str, names: list[str]) -> int:
     """Run the analytical figure benches under pytest; their
     ``write_result`` sidecars are redirected to ``out_dir``."""
@@ -190,13 +201,18 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(f"wrote {path}")
 
+    print("observability overhead bench:")
+    rc_obs = run_obs_health_bench(out_dir, smoke=args.smoke)
+    if rc_obs != 0:
+        print(f"obs health bench FAILED (exit {rc_obs})", file=sys.stderr)
+
     if args.skip_figures:
-        return 0
+        return rc_obs
     print("figure benches (pytest, single-shot):")
     rc = run_figure_benches(out_dir, FIGURE_BENCHES)
     if rc != 0:
         print(f"figure benches FAILED (exit {rc})", file=sys.stderr)
-    return rc
+    return rc or rc_obs
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ RolloutFn = Callable[[np.ndarray, int, int], np.ndarray]
 
 def _timed_metric(metric: str, fn, *args) -> float:
     """Compute one score; while observability is on, time it as an
-    ``eval.metric`` span and feed an ``eval.metric_seconds`` histogram."""
+    ``eval.metric`` span and feed an ``eval.metric_s`` histogram."""
     tracer = get_tracer()
     if tracer is None:
         return float(fn(*args))
@@ -34,7 +34,7 @@ def _timed_metric(metric: str, fn, *args) -> float:
         value = float(fn(*args))
     registry = _obs_metrics()
     if registry is not None:
-        registry.histogram("eval.metric_seconds",
+        registry.histogram("eval.metric_s",
                            "per-metric scoring time").observe(
             tracer.spans[-1].duration, metric=metric)
     return value

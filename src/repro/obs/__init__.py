@@ -1,4 +1,4 @@
-"""``repro.obs`` — unified tracing, metrics, and profiling.
+"""``repro.obs`` — unified tracing, metrics, profiling, and health.
 
 The measurement substrate behind the reproduction's performance claims
 (the paper's "timers; performance modeling" methodology, Section VI-D):
@@ -9,25 +9,47 @@ The measurement substrate behind the reproduction's performance claims
   ``trace_event`` JSON (open in ``chrome://tracing`` / Perfetto) or a
   plain-text summary table;
 * :mod:`~repro.obs.profile` — global on/off switch plus the zero-cost
-  hooks instrumented code calls (``Scope`` / ``span`` / ``@profiled``);
+  hooks instrumented code calls (``Scope`` / ``span`` / ``@profiled`` /
+  ``record_event``);
+* :mod:`~repro.obs.flight` — bounded ring-buffer flight recorder dumping
+  JSONL post-mortems (on demand and on unhandled exceptions);
+* :mod:`~repro.obs.health` — online anomaly detectors (loss NaN/spike/
+  plateau, gradient explosion, rank stragglers, pipeline-bubble
+  regression, plan-cache collapse, queue saturation, multi-window SLO
+  burn) firing typed, deduplicated alerts;
+* :mod:`~repro.obs.alerts` — the severity/dedup/cooldown alert funnel;
+* :mod:`~repro.obs.export` — Prometheus text exposition + JSONL event
+  export (atomic writes);
+* :mod:`~repro.obs.dashboard` — a deterministic terminal panel over the
+  whole stack (CLI in ``tools/obs_dashboard.py``);
 * :mod:`~repro.obs.report` — :class:`TraceReport`, cross-checking
-  observed span totals and byte counters against the :mod:`repro.perf`
-  analytical predictions.
+  observed span totals, byte counters, fault accounting, and fired
+  alerts against the :mod:`repro.perf` / :mod:`repro.resilience`
+  ground truth.
 
 Everything is **off by default** and strictly free when off::
 
     from repro import obs
-    with obs.observed() as (tracer, registry):
+    with obs.monitored() as m:
         trainer.fit(10)
-    print(tracer.summary_table())
-    print(registry.as_table())
-    tracer.write_chrome("trace.json")
+    print(obs.render_dashboard(m.registry, m.tracer, m.monitor,
+                               m.recorder))
+    obs.write_prometheus(m.registry, "metrics.prom")
+    m.recorder.dump("flight.jsonl")
 """
 
+from .alerts import Alert, AlertManager
+from .dashboard import render_dashboard
+from .export import (events_jsonl, prometheus_text, write_events_jsonl,
+                     write_metrics_json, write_prometheus)
+from .flight import SEVERITIES, Event, FlightRecorder
+from .health import FAULT_ALERT_KINDS, HealthConfig, HealthMonitor
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       merge_snapshots)
-from .profile import (Scope, disable, enable, get_tracer, is_enabled,
-                      metrics, observed, profiled, span)
+from .profile import (MonitoredSession, Scope, disable, disable_health,
+                      enable, enable_health, flight, get_tracer, health,
+                      is_enabled, metrics, monitored, observed, profiled,
+                      record_event, span)
 from .report import TraceReport
 from .trace import Span, StepClock, Tracer
 
@@ -37,5 +59,13 @@ __all__ = [
     "Scope", "span", "profiled",
     "enable", "disable", "is_enabled", "observed",
     "get_tracer", "metrics",
+    "Event", "FlightRecorder", "SEVERITIES",
+    "Alert", "AlertManager",
+    "HealthConfig", "HealthMonitor", "FAULT_ALERT_KINDS",
+    "enable_health", "disable_health", "health", "flight",
+    "record_event", "monitored", "MonitoredSession",
+    "prometheus_text", "events_jsonl", "write_prometheus",
+    "write_events_jsonl", "write_metrics_json",
+    "render_dashboard",
     "TraceReport",
 ]

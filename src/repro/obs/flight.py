@@ -1,0 +1,172 @@
+"""Flight recorder: a bounded ring buffer of typed, structured events.
+
+A crashed 10,080-node run is only debuggable if the last few thousand
+things that *happened* — train steps, comm retries and escalations,
+serve admissions and rejections, fault injections, checkpoint saves,
+fired alerts — survive as structured records.  The
+:class:`FlightRecorder` keeps exactly that: a ``deque(maxlen=capacity)``
+of :class:`Event` records (oldest events fall off the back, so memory is
+bounded no matter how long the run), dumped as JSONL
+
+* **on demand** — :meth:`FlightRecorder.dump` (atomic write, so a crash
+  mid-dump never truncates a previous post-mortem), and
+* **on unhandled exceptions** — :meth:`FlightRecorder.install_excepthook`
+  chains onto ``sys.excepthook`` and writes the post-mortem (including a
+  final ``crash`` event carrying the exception) before the traceback
+  prints.
+
+Recording is routed through :func:`repro.obs.profile.record_event`,
+which is a strict no-op while the recorder is disabled — the same
+zero-cost contract as spans and metrics (``Event.allocated`` counts
+constructions the way ``Span.allocated`` does, and the overhead tests
+pin it flat while disabled).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import traceback
+from collections import deque
+
+__all__ = ["Event", "FlightRecorder", "SEVERITIES"]
+
+#: Ordered severities, least to most severe.
+SEVERITIES = ("info", "warning", "critical")
+
+
+class Event:
+    """One structured flight-recorder record.
+
+    ``Event.allocated`` counts every construction — the overhead tests
+    assert it stays flat while recording is disabled.
+    """
+
+    __slots__ = ("seq", "ts", "kind", "subsystem", "severity", "data")
+
+    allocated = 0
+
+    def __init__(self, seq: int, ts: float, kind: str, subsystem: str,
+                 severity: str = "info", data: dict | None = None):
+        Event.allocated += 1
+        if severity not in SEVERITIES:
+            raise ValueError(f"severity {severity!r}; one of {SEVERITIES}")
+        self.seq = seq
+        self.ts = ts
+        self.kind = kind
+        self.subsystem = subsystem
+        self.severity = severity
+        self.data = data or {}
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind,
+                "subsystem": self.subsystem, "severity": self.severity,
+                "data": self.data}
+
+    def __repr__(self) -> str:
+        return (f"Event(#{self.seq} {self.kind!r} [{self.severity}] "
+                f"@{self.ts:.6f})")
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`Event` records.
+
+    Parameters
+    ----------
+    capacity:
+        Retained event count; the oldest events are discarded first
+        (``dropped`` counts how many fell off the back).
+    clock:
+        Injectable timestamp source (e.g. :class:`~repro.obs.StepClock`
+        for deterministic tests); defaults to ``time.time``.
+    """
+
+    def __init__(self, capacity: int = 4096, clock=None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else time.time
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+        self._prev_excepthook = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- recording ---------------------------------------------------------
+    def record(self, kind: str, subsystem: str = "repro",
+               severity: str = "info", **data) -> Event:
+        """Append one event (evicting the oldest if the ring is full)."""
+        event = Event(self._seq, self.clock(), kind, subsystem,
+                      severity, data)
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        return event
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    # -- querying ----------------------------------------------------------
+    def events(self, kind: str | None = None, subsystem: str | None = None,
+               min_severity: str = "info") -> list[Event]:
+        """Retained events, oldest first, optionally filtered."""
+        floor = SEVERITIES.index(min_severity)
+        return [e for e in self._ring
+                if (kind is None or e.kind == kind)
+                and (subsystem is None or e.subsystem == subsystem)
+                and SEVERITIES.index(e.severity) >= floor]
+
+    def tail(self, n: int = 10) -> list[Event]:
+        """The ``n`` most recent events, oldest of them first."""
+        return list(self._ring)[-n:]
+
+    # -- post-mortem export ------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first; trailing newline."""
+        return "".join(json.dumps(e.to_dict()) + "\n" for e in self._ring)
+
+    def dump(self, path: str) -> str:
+        """Write the post-mortem JSONL atomically; returns ``path``."""
+        # Imported lazily: repro.resilience transitively imports the obs
+        # hooks, so a module-level import here would be a cycle.
+        from ..resilience.atomic import atomic_write
+        return atomic_write(path, self.to_jsonl())
+
+    # -- crash hook --------------------------------------------------------
+    def install_excepthook(self, path: str) -> None:
+        """Dump the flight record to ``path`` on unhandled exceptions.
+
+        Chains the previously installed ``sys.excepthook`` (typically the
+        default traceback printer) after the dump.  A final ``crash``
+        event carrying the exception type/message/traceback is recorded
+        before writing, so the post-mortem ends with its own cause.
+        """
+        if self._prev_excepthook is not None:
+            raise RuntimeError("excepthook already installed")
+        prev = sys.excepthook
+
+        def hook(exc_type, exc, tb):
+            try:
+                self.record(
+                    "crash", subsystem="obs", severity="critical",
+                    exc_type=exc_type.__name__, message=str(exc),
+                    traceback="".join(
+                        traceback.format_exception(exc_type, exc, tb)))
+                self.dump(path)
+            except Exception:  # the hook must never mask the real crash
+                pass
+            prev(exc_type, exc, tb)
+
+        self._prev_excepthook = prev
+        sys.excepthook = hook
+
+    def uninstall_excepthook(self) -> None:
+        """Restore the previous ``sys.excepthook`` (no-op if not installed)."""
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None

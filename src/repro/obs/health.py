@@ -1,0 +1,347 @@
+"""Online health detection: rolling-window anomaly detectors over the
+telemetry the rest of :mod:`repro.obs` already collects.
+
+The passive layer (metrics, spans, flight events) answers "what
+happened"; the :class:`HealthMonitor` answers "is the run healthy *right
+now*" — the difference between a skillful exascale allocation and a
+wasted one is noticing the loss spike, the straggling rank, or the SLO
+burn while the job is still running.  Detectors:
+
+* **loss** — NaN/Inf (critical), spikes via a robust z-score (median +
+  MAD over a rolling window), and plateaus via two EWMAs (fast vs slow:
+  when the fast average stops improving on the slow one, training has
+  stalled);
+* **gradient norm** — explosion relative to the rolling median;
+* **per-rank stragglers** — busy-time imbalance across tracer span
+  tracks (a rank whose measured stage time sits z MADs above its peers);
+* **pipeline bubble** — observed bubble fraction from trace geometry vs
+  the :mod:`repro.perf` closed-form prediction (a regression means the
+  schedule is losing real overlap, not that the model was wrong);
+* **plan caches** — hit-rate collapse on the :mod:`repro.kernels` plan
+  caches (a serving process that stops hitting its plans is rebuilding
+  gathers on the hot path);
+* **serve queues** — per-tier depth saturation against the admission
+  caps;
+* **SLO burn rate** — multi-window (fast/slow) error-budget burn per
+  tier: page only when *both* the recent window and the long window burn
+  the budget, the standard defence against paging on blips;
+* **fault classes** — transient comm faults, stragglers, and fail-stops
+  booked by the resilience layer, mapped 1:1 onto alert kinds so
+  :meth:`repro.obs.TraceReport.health_check` can reconcile fired alerts
+  against a :class:`~repro.resilience.FaultPlan`'s injected classes.
+
+Everything funnels through one :class:`~repro.obs.alerts.AlertManager`
+(dedup + cooldown + routing into flight recorder and metrics).  The
+monitor itself is cheap — O(window) arithmetic per observation — and
+only runs when explicitly enabled (see
+:func:`repro.obs.profile.enable_health`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from .alerts import AlertManager
+
+__all__ = ["HealthConfig", "HealthMonitor", "FAULT_ALERT_KINDS"]
+
+#: Injected fault class (``FaultInjector.injected`` keys) → the alert
+#: kind the matching detector fires.  ``TraceReport.health_check``
+#: reconciles chaos runs against exactly this mapping.
+FAULT_ALERT_KINDS = {
+    "flip": "comm.bitflip",
+    "drop": "comm.drop",
+    "straggler": "comm.straggler",
+    "failstop": "resilience.rank_failure",
+}
+
+#: Scale factor making the median absolute deviation a consistent
+#: estimator of the standard deviation for normal data.
+_MAD_TO_SIGMA = 1.4826
+
+
+def _median(values) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return float(s[mid]) if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def _robust_z(value: float, window) -> float:
+    """Robust z-score of ``value`` against ``window`` (median + MAD)."""
+    med = _median(window)
+    mad = _median([abs(v - med) for v in window])
+    scale = max(mad * _MAD_TO_SIGMA, 1e-12)
+    return (value - med) / scale
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds for every detector (defaults sized for toy runs)."""
+
+    # loss detectors
+    loss_window: int = 32          # rolling window for the spike z-score
+    loss_spike_z: float = 8.0      # robust z above which a loss is a spike
+    ewma_fast: float = 0.3         # fast EWMA coefficient
+    ewma_slow: float = 0.03        # slow EWMA coefficient
+    plateau_steps: int = 64        # min observations before plateau fires
+    plateau_margin: float = 1e-3   # fast must undercut slow by this frac
+    # gradient detector
+    grad_window: int = 32
+    grad_explosion_z: float = 10.0
+    # per-rank straggler detector (tracer span tracks)
+    straggler_z: float = 4.0
+    straggler_min_tracks: int = 3
+    # pipeline bubble regression
+    bubble_margin: float = 0.10    # observed may exceed predicted by this
+    # plan caches
+    plan_cache_min_lookups: int = 64
+    plan_cache_min_hit_rate: float = 0.5
+    # serve queues
+    queue_saturation_frac: float = 0.9
+    # SLO burn rate (multi-window)
+    slo_error_budget: float = 0.05  # tolerated miss fraction
+    burn_fast_window: int = 16
+    burn_slow_window: int = 128
+    burn_fast_threshold: float = 2.0   # fast window burns 2x budget
+    burn_slow_threshold: float = 1.0   # and the slow window is over budget
+    # alerting
+    cooldown_s: float = 60.0
+
+
+class HealthMonitor:
+    """Runs the detector suite; fires through one :class:`AlertManager`.
+
+    Online observations (``observe_*``) are called from instrumented hot
+    paths while health is enabled; pull checks (``check_*``) inspect the
+    registry/tracer on demand (dashboard render, end of run, CI).
+    """
+
+    def __init__(self, config: HealthConfig = HealthConfig(),
+                 alerts: AlertManager | None = None, clock=None):
+        self.config = config
+        self.alerts = alerts if alerts is not None else AlertManager(
+            cooldown_s=config.cooldown_s, clock=clock)
+        self._loss_window: deque[float] = deque(maxlen=config.loss_window)
+        self._grad_window: deque[float] = deque(maxlen=config.grad_window)
+        self._ewma_fast: float | None = None
+        self._ewma_slow: float | None = None
+        self._loss_observed = 0
+        # per-tier (fast, slow) deques of SLO miss booleans
+        self._burn: dict[str, tuple[deque, deque]] = {}
+        self.observations = 0
+
+    # -- online: training -------------------------------------------------
+    def observe_step(self, step: int, loss: float,
+                     grad_norm: float | None = None) -> None:
+        """Feed one training step's loss (and optionally gradient norm)."""
+        cfg = self.config
+        self.observations += 1
+        if not math.isfinite(loss):
+            self.alerts.fire(
+                "train.loss_nonfinite", "critical", "train",
+                f"non-finite loss {loss!r} at step {step}", step=str(step))
+            return  # a NaN would poison the windows
+        if len(self._loss_window) == cfg.loss_window:
+            z = _robust_z(loss, self._loss_window)
+            if z > cfg.loss_spike_z:
+                self.alerts.fire(
+                    "train.loss_spike", "warning", "train",
+                    f"loss {loss:.6g} is {z:.1f} MADs above the rolling "
+                    f"median at step {step}", data={"z": z, "loss": loss})
+        self._loss_window.append(loss)
+        self._loss_observed += 1
+        if self._ewma_fast is None:
+            self._ewma_fast = self._ewma_slow = loss
+        else:
+            self._ewma_fast += cfg.ewma_fast * (loss - self._ewma_fast)
+            self._ewma_slow += cfg.ewma_slow * (loss - self._ewma_slow)
+            if (self._loss_observed >= cfg.plateau_steps
+                    and self._ewma_fast > self._ewma_slow
+                    * (1.0 - cfg.plateau_margin)):
+                self.alerts.fire(
+                    "train.loss_plateau", "info", "train",
+                    f"fast EWMA {self._ewma_fast:.6g} no longer improving "
+                    f"on slow EWMA {self._ewma_slow:.6g}",
+                    data={"fast": self._ewma_fast, "slow": self._ewma_slow})
+        if grad_norm is not None:
+            if not math.isfinite(grad_norm):
+                self.alerts.fire(
+                    "train.grad_explosion", "critical", "train",
+                    f"non-finite gradient norm at step {step}")
+            elif len(self._grad_window) == cfg.grad_window:
+                z = _robust_z(grad_norm, self._grad_window)
+                if z > cfg.grad_explosion_z:
+                    self.alerts.fire(
+                        "train.grad_explosion", "critical", "train",
+                        f"gradient norm {grad_norm:.6g} is {z:.1f} MADs "
+                        f"above the rolling median at step {step}",
+                        data={"z": z, "grad_norm": grad_norm})
+            if math.isfinite(grad_norm):
+                self._grad_window.append(grad_norm)
+
+    # -- online: serving --------------------------------------------------
+    def observe_latency(self, tier: str, latency_s: float,
+                        slo_s: float) -> None:
+        """Feed one completed request's latency into the burn windows."""
+        cfg = self.config
+        self.observations += 1
+        fast, slow = self._burn.setdefault(
+            tier, (deque(maxlen=cfg.burn_fast_window),
+                   deque(maxlen=cfg.burn_slow_window)))
+        miss = latency_s > slo_s
+        fast.append(miss)
+        slow.append(miss)
+        if len(fast) < cfg.burn_fast_window:
+            return
+        budget = max(cfg.slo_error_budget, 1e-9)
+        burn_fast = (sum(fast) / len(fast)) / budget
+        burn_slow = (sum(slow) / len(slow)) / budget
+        if burn_fast >= cfg.burn_fast_threshold \
+                and burn_slow >= cfg.burn_slow_threshold:
+            self.alerts.fire(
+                "serve.slo_burn", "critical", "serve",
+                f"tier {tier!r} burning {burn_fast:.1f}x its error budget "
+                f"(slow window {burn_slow:.1f}x)", tier=tier,
+                data={"burn_fast": burn_fast, "burn_slow": burn_slow})
+
+    def observe_queue_depth(self, tier: str, depth: int, cap: int) -> None:
+        """Feed one admission-time queue depth against the tier cap."""
+        self.observations += 1
+        if cap > 0 and depth >= self.config.queue_saturation_frac * cap:
+            self.alerts.fire(
+                "serve.queue_saturation", "warning", "serve",
+                f"tier {tier!r} queue at {depth}/{cap}", tier=tier,
+                data={"depth": depth, "cap": cap})
+
+    # -- pull: fault classes ----------------------------------------------
+    def check_faults(self, registry) -> dict:
+        """Map the resilience layer's bookkeeping onto fault-class alerts.
+
+        Each class fires iff the corresponding meter is non-zero, so a
+        fault-free run fires none of these kinds — the property
+        :meth:`repro.obs.TraceReport.health_check` asserts.
+        """
+        counts = {
+            "flip": registry.counter("comm.faults_detected").total(
+                kind="flip"),
+            "drop": registry.counter("comm.faults_detected").total(
+                kind="drop"),
+            "straggler": sum(
+                cell["count"] for cell in registry.histogram(
+                    "comm.straggler_s").series.values()),
+            "failstop": registry.counter("resilience.dead_ranks").total(),
+        }
+        severities = {"flip": "warning", "drop": "warning",
+                      "straggler": "warning", "failstop": "critical"}
+        for fault, n in counts.items():
+            if n > 0:
+                self.alerts.fire(
+                    FAULT_ALERT_KINDS[fault], severities[fault],
+                    "resilience" if fault == "failstop" else "comm",
+                    f"{int(n)} {fault} fault(s) observed",
+                    data={"count": int(n)})
+        skipped = registry.counter("train.skipped_steps").total()
+        if skipped > 0:
+            self.alerts.fire(
+                "train.loss_nonfinite", "critical", "train",
+                f"{int(skipped)} step(s) skipped by the NaN/Inf guard",
+                data={"skipped_steps": int(skipped)})
+        return counts
+
+    # -- pull: per-rank stragglers from span tracks ------------------------
+    def check_rank_balance(self, tracer, category: str = "pp-1f1b",
+                           track_prefix: str | None = None) -> dict:
+        """Busy-time imbalance across tracks: a rank sitting ``z`` robust
+        deviations above its peers is a straggler."""
+        cfg = self.config
+        busy: dict[str, float] = {}
+        for span in tracer.select(category=category,
+                                  track_prefix=track_prefix):
+            busy[span.track] = busy.get(span.track, 0.0) + span.duration
+        if len(busy) >= cfg.straggler_min_tracks:
+            values = list(busy.values())
+            for track in sorted(busy):
+                z = _robust_z(busy[track], values)
+                if z > cfg.straggler_z:
+                    self.alerts.fire(
+                        "pp.rank_straggler", "warning", "parallel",
+                        f"track {track!r} busy {busy[track]:.6g}s, "
+                        f"{z:.1f} MADs above its peers", track=track,
+                        data={"busy_s": busy[track], "z": z})
+        return busy
+
+    # -- pull: pipeline bubble vs the perf model ---------------------------
+    def check_pipeline(self, tracer, pp: int, n_micro: int,
+                       schedule: str = "1f1b",
+                       category: str = "pp-1f1b",
+                       track_prefix: str | None = None) -> dict | None:
+        """Observed bubble fraction (trace geometry) vs the closed-form
+        prediction; fires when the schedule loses real overlap."""
+        from ..perf.pipeline_model import bubble_fraction
+        spans = tracer.select(category=category, track_prefix=track_prefix)
+        if not spans:
+            return None
+        tracks = {s.track for s in spans}
+        makespan = max(s.end for s in spans) - min(s.start for s in spans)
+        busy = sum(s.duration for s in spans)
+        observed = 1.0 - busy / (len(tracks) * makespan)
+        predicted = bubble_fraction(pp, n_micro, schedule)
+        result = {"observed": observed, "predicted": predicted,
+                  "margin": self.config.bubble_margin}
+        if observed > predicted + self.config.bubble_margin:
+            self.alerts.fire(
+                "pp.bubble_regression", "warning", "parallel",
+                f"observed bubble {observed:.3f} exceeds predicted "
+                f"{predicted:.3f} by more than {self.config.bubble_margin}",
+                data=result)
+        return result
+
+    # -- pull: kernel plan caches ------------------------------------------
+    def check_plan_caches(self, stats: dict | None = None) -> dict:
+        """Hit-rate collapse on the kernel plan caches."""
+        if stats is None:
+            from ..kernels import plan_cache_stats
+            stats = plan_cache_stats()
+        cfg = self.config
+        rates = {}
+        for name in sorted(stats):
+            cache = stats[name]
+            lookups = cache["hits"] + cache["misses"]
+            if lookups < cfg.plan_cache_min_lookups:
+                continue
+            rate = cache["hits"] / lookups
+            rates[name] = rate
+            if rate < cfg.plan_cache_min_hit_rate:
+                self.alerts.fire(
+                    "kernels.plan_cache_collapse", "warning", "kernels",
+                    f"plan cache {name!r} hit rate {rate:.2f} over "
+                    f"{lookups} lookups", cache=name,
+                    data={"hit_rate": rate, "lookups": lookups})
+        return rates
+
+    # -- pull: everything registry-driven ----------------------------------
+    def check(self, registry=None, tracer=None) -> "HealthMonitor":
+        """Run every pull detector that has data available."""
+        from .profile import get_tracer, metrics
+        registry = registry if registry is not None else metrics()
+        tracer = tracer if tracer is not None else get_tracer()
+        if registry is not None:
+            self.check_faults(registry)
+        self.check_plan_caches()
+        if tracer is not None:
+            self.check_rank_balance(tracer)
+        return self
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> dict:
+        """JSON-friendly state rollup."""
+        return {
+            "observations": self.observations,
+            "ewma_fast": self._ewma_fast,
+            "ewma_slow": self._ewma_slow,
+            "alert_kinds": sorted(self.alerts.kinds()),
+            "alerts": self.alerts.summary(),
+        }

@@ -9,26 +9,41 @@ through the hooks here, which are strict no-ops while disabled:
   falling through to the original call;
 * :func:`metrics` returns ``None``, so call sites guard derived-value
   computation (e.g. gradient norms) behind the same check and skip it
-  entirely when nobody is listening.
+  entirely when nobody is listening;
+* :func:`record_event` drops the event on the floor (no
+  :class:`~repro.obs.flight.Event` is allocated) while no flight
+  recorder is installed, and :func:`health` returns ``None`` so the
+  online detectors cost nothing while monitoring is off.
 
 Enable globally with :func:`enable`, or scoped with ``with observed() as
-(tracer, registry): ...``.  The hot-path contract is verified by
-``tests/obs/test_overhead.py``: with tracing disabled, instrumented code
-paths produce bit-identical numerics and allocate zero span objects.
+(tracer, registry): ...``.  The *active* health layer (flight recorder +
+detectors, see :mod:`repro.obs.health`) is a separate opt-in on top:
+:func:`enable_health` / :func:`disable_health`, or everything at once
+with ``with monitored() as m: ...``.  The hot-path contract is verified
+by ``tests/obs/test_overhead.py``: with tracing disabled, instrumented
+code paths produce bit-identical numerics and allocate zero span (and
+event) objects.
 """
 
 from __future__ import annotations
 
 import functools
+from typing import NamedTuple
 
+from .flight import FlightRecorder
+from .health import HealthConfig, HealthMonitor
 from .metrics import MetricsRegistry
 from .trace import Tracer
 
 __all__ = ["enable", "disable", "is_enabled", "observed", "get_tracer",
-           "metrics", "span", "Scope", "profiled"]
+           "metrics", "span", "Scope", "profiled",
+           "enable_health", "disable_health", "health", "flight",
+           "record_event", "monitored", "MonitoredSession"]
 
 _tracer: Tracer | None = None
 _registry: MetricsRegistry | None = None
+_flight: FlightRecorder | None = None
+_health: HealthMonitor | None = None
 
 
 def enable(tracer: Tracer | None = None,
@@ -43,10 +58,12 @@ def enable(tracer: Tracer | None = None,
 
 
 def disable() -> None:
-    """Turn instrumentation off (recorded data is dropped)."""
+    """Turn instrumentation off (recorded data is dropped).  Also turns
+    the health layer off — "fully dark" is one call."""
     global _tracer, _registry
     _tracer = None
     _registry = None
+    disable_health()
 
 
 def is_enabled() -> bool:
@@ -61,6 +78,56 @@ def get_tracer() -> Tracer | None:
 def metrics() -> MetricsRegistry | None:
     """The active metrics registry, or ``None`` while disabled."""
     return _registry
+
+
+# -- active health layer (flight recorder + online detectors) ------------------
+def enable_health(monitor: HealthMonitor | None = None,
+                  recorder: FlightRecorder | None = None,
+                  config: HealthConfig | None = None,
+                  clock=None) -> tuple[HealthMonitor, FlightRecorder]:
+    """Install the flight recorder and health monitor (idempotent: an
+    existing instance is kept unless an explicit one is passed)."""
+    global _flight, _health
+    _flight = recorder if recorder is not None \
+        else (_flight or FlightRecorder(clock=clock))
+    _health = monitor if monitor is not None else (
+        _health or HealthMonitor(config or HealthConfig(), clock=clock))
+    return _health, _flight
+
+
+def disable_health() -> None:
+    """Remove the health monitor and flight recorder."""
+    global _flight, _health
+    _flight = None
+    _health = None
+
+
+def health() -> HealthMonitor | None:
+    """The active health monitor, or ``None`` while disabled."""
+    return _health
+
+
+def flight() -> FlightRecorder | None:
+    """The active flight recorder, or ``None`` while disabled."""
+    return _flight
+
+
+def record_event(kind: str, subsystem: str = "repro",
+                 severity: str = "info", **data) -> None:
+    """Record a flight event while enabled; a strict no-op otherwise."""
+    recorder = _flight
+    if recorder is not None:
+        recorder.record(kind, subsystem=subsystem, severity=severity,
+                        **data)
+
+
+class MonitoredSession(NamedTuple):
+    """What :class:`monitored` yields."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+    monitor: HealthMonitor
+    recorder: FlightRecorder
 
 
 class observed:
@@ -86,6 +153,42 @@ class observed:
     def __exit__(self, *exc) -> None:
         global _tracer, _registry
         _tracer, _registry = self._saved
+        return None
+
+
+class monitored:
+    """Scoped full-stack enablement: tracing + metrics + flight recorder
+    + health monitor::
+
+        with monitored() as m:
+            trainer.fit(100)
+        print(m.monitor.alerts.summary())
+        m.recorder.dump("postmortem.jsonl")
+
+    Restores the previous global state (of all four) on exit.
+    """
+
+    def __init__(self, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None,
+                 monitor: HealthMonitor | None = None,
+                 recorder: FlightRecorder | None = None,
+                 config: HealthConfig | None = None, clock=None):
+        self._incoming = (tracer, registry, monitor, recorder, config,
+                          clock)
+
+    def __enter__(self) -> MonitoredSession:
+        self._saved = (_tracer, _registry, _flight, _health)
+        tracer, registry, monitor, recorder, config, clock = self._incoming
+        pair = enable(tracer or Tracer(clock=clock),
+                      registry or MetricsRegistry())
+        triple = enable_health(
+            monitor or HealthMonitor(config or HealthConfig(), clock=clock),
+            recorder or FlightRecorder(clock=clock))
+        return MonitoredSession(pair[0], pair[1], triple[0], triple[1])
+
+    def __exit__(self, *exc) -> None:
+        global _tracer, _registry, _flight, _health
+        _tracer, _registry, _flight, _health = self._saved
         return None
 
 

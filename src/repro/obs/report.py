@@ -224,6 +224,47 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    # -- alert fidelity ------------------------------------------------------
+    def health_check(self, monitor, injector=None) -> dict:
+        """Fired alerts must reconcile against injected fault classes.
+
+        Runs the monitor's pull detectors over this report's registry,
+        then checks the two directions of alert fidelity against
+        :data:`~repro.obs.health.FAULT_ALERT_KINDS`:
+
+        * **coverage** — every fault class the injector dealt at least
+          once has its alert kind fired (a chaos run with silent fault
+          classes fails);
+        * **no false positives** — every fault class the injector never
+          dealt (all of them, when ``injector`` is ``None``: a clean
+          run) has its alert kind absent.
+
+        Detectors outside the fault mapping (loss plateau, SLO burn, …)
+        are deliberately out of scope — they alert on organic behaviour,
+        not injections.
+        """
+        from .health import FAULT_ALERT_KINDS
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        monitor.check_faults(self.registry)
+        fired = monitor.alerts.kinds()
+        injected = dict(injector.injected) if injector is not None else {}
+        per_fault = {}
+        agrees = True
+        for fault, kind in sorted(FAULT_ALERT_KINDS.items()):
+            dealt = injected.get(fault, 0)
+            alerted = kind in fired
+            match = alerted if dealt > 0 else not alerted
+            agrees = agrees and match
+            per_fault[fault] = {"injected": dealt, "alert_kind": kind,
+                                "alerted": alerted, "match": match}
+        result = {"check": "health_alerts", "per_fault": per_fault,
+                  "alert_kinds_fired": sorted(fired),
+                  "alerts_total": len(monitor.alerts.alerts),
+                  "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> dict:
         out = {"checks": self.checks,
@@ -264,6 +305,16 @@ class TraceReport:
                     f"{', '.join(parts)} | cache hit rate "
                     f"{c['cache']['hit_rate']:.2f} | "
                     f"{c['serve_spans']} spans | "
+                    f"{'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "health_alerts":
+                parts = [
+                    f"{fault} {r['injected']}/"
+                    f"{'fired' if r['alerted'] else 'quiet'}"
+                    for fault, r in c["per_fault"].items()]
+                lines.append(
+                    f"  health alerts (injected/alert): "
+                    f"{', '.join(parts)} | "
+                    f"{c['alerts_total']} alert(s) | "
                     f"{'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "comm_bytes":
                 n = len(c["registry_vs_commstats"])

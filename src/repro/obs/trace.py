@@ -173,8 +173,10 @@ class Tracer:
         return meta + events
 
     def write_chrome(self, path: str) -> None:
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome(), fh)
+        # Imported lazily: repro.resilience transitively imports the obs
+        # hooks, so a module-level import here would be a cycle.
+        from ..resilience.atomic import atomic_write
+        atomic_write(path, json.dumps(self.to_chrome()))
 
     # -- text summary ------------------------------------------------------
     def summary(self) -> dict[str, dict]:

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
 from ..resilience.checksum import payload_checksum
 from ..resilience.faults import CommTimeout, MessageCorruption
@@ -173,6 +174,10 @@ class SimCluster:
             if attempt > self.retry.max_retries:
                 detail = (f"{primitive} {src}->{dst} still failing after "
                           f"{self.retry.max_retries} retries")
+                _record_event("comm.escalation", subsystem="comm",
+                              severity="critical", primitive=primitive,
+                              src=src, dst=dst, fault=fault,
+                              retries=self.retry.max_retries)
                 raise (CommTimeout(detail) if fault == "drop"
                        else MessageCorruption(detail))
             self._record_retry(primitive, attempt)
@@ -184,6 +189,9 @@ class SimCluster:
             registry.histogram("comm.straggler_s",
                                "simulated late-delivery delays").observe(
                 delay_s, primitive=primitive)
+        _record_event("comm.straggler", subsystem="comm",
+                      severity="warning", primitive=primitive, src=src,
+                      dst=dst, delay_s=delay_s)
         with _span("resilience.straggler", category="resilience",
                    primitive=primitive, src=src, dst=dst, delay_s=delay_s):
             pass
@@ -195,6 +203,9 @@ class SimCluster:
             registry.counter("comm.faults_detected",
                              "transient faults caught at delivery").inc(
                 1, primitive=primitive, kind=kind)
+        _record_event("comm.fault_detected", subsystem="comm",
+                      severity="warning", primitive=primitive, src=src,
+                      dst=dst, fault=kind)
         with _span("resilience.fault", category="resilience", kind=kind,
                    primitive=primitive, src=src, dst=dst):
             pass

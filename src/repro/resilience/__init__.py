@@ -8,6 +8,9 @@ routine there, as ORBIT's Frontier runs document):
   exceptions), :class:`FaultPlan` (seeded schedule of fail-stops, bit
   flips, drops, stragglers) and :class:`FaultInjector` (applies the plan
   to the simulated cluster's transfers);
+* :mod:`~repro.resilience.atomic` — crash-safe file writes (temp +
+  fsync + rename), shared by checkpoints and every
+  :mod:`repro.obs` exporter;
 * :mod:`~repro.resilience.checksum` — per-message / per-array CRC32
   binding dtype + shape, used by the self-healing collectives and the
   checkpoint manifest;
@@ -28,6 +31,7 @@ sits *above* :mod:`repro.parallel` — lazy loading keeps that layering
 acyclic.
 """
 
+from .atomic import atomic_open, atomic_write
 from .checksum import payload_checksum, verify_payload
 from .faults import (BitFlip, ClusterFailure, CommTimeout, Drop, FailStop,
                      FaultInjector, FaultPlan, MessageCorruption,
@@ -37,6 +41,7 @@ from .retry import RetryPolicy
 _SUPERVISOR_EXPORTS = ("ElasticSupervisor", "SupervisorConfig")
 
 __all__ = [
+    "atomic_open", "atomic_write",
     "payload_checksum", "verify_payload",
     "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
     "ClusterFailure",

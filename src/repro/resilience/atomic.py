@@ -1,0 +1,55 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+One helper, shared by every durable artifact the repo produces —
+checkpoint ``.npz`` archives (:mod:`repro.train.checkpoint`), Chrome
+traces (:meth:`repro.obs.Tracer.write_chrome`), Prometheus text and
+flight-recorder JSONL exports (:mod:`repro.obs.export`).  The contract is
+the one the checkpoint layer has always honoured: a crash at any point
+leaves either the complete old file or the complete new file, never a
+truncated hybrid, because the data is staged under a temp name in the
+*same directory* (so the rename cannot cross filesystems), fsynced, and
+then moved into place with ``os.replace`` (atomic on POSIX).
+
+This module is intentionally stdlib-only and import-free within the
+repo, so :mod:`repro.obs` can use it without creating an import cycle
+(``repro.resilience.faults`` imports the obs hooks).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = ["atomic_write", "atomic_open"]
+
+
+@contextlib.contextmanager
+def atomic_open(path: str, mode: str = "wb"):
+    """Context manager yielding a temp-file handle that replaces ``path``
+    only if the block completes; on any exception the temp file is
+    removed and the destination is left untouched.
+
+    ``mode`` must be a write mode (``"wb"`` or ``"w"``).  The handle is
+    flushed and fsynced before the rename.
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_open needs a write mode, got {mode!r}")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+
+
+def atomic_write(path: str, data: bytes | str) -> str:
+    """Write ``data`` to ``path`` atomically; returns ``path``."""
+    mode = "wb" if isinstance(data, bytes) else "w"
+    with atomic_open(path, mode) as fh:
+        fh.write(data)
+    return path

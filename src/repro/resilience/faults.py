@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 
 __all__ = [
     "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
@@ -248,3 +249,5 @@ class FaultInjector:
         if registry is not None:
             registry.counter("resilience.faults_injected",
                              "faults dealt by the injector").inc(1, kind=kind)
+        _record_event("fault.injected", subsystem="resilience",
+                      severity="warning", fault=kind, step=self.step)

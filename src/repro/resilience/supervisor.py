@@ -37,7 +37,9 @@ import numpy as np
 
 from ..data import SyntheticReanalysis
 from ..model import AerisConfig
+from ..obs.profile import health as _obs_health
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
 from ..parallel.swipe import SwipeEngine
 from ..parallel.topology import RankTopology
@@ -121,6 +123,11 @@ class ElasticSupervisor:
                 self._recover(step, failure)
                 continue
             self.history.append(loss)
+            monitor = _obs_health()
+            if monitor is not None:
+                monitor.observe_step(step, loss)
+            _record_event("train.step", subsystem="resilience", step=step,
+                          loss=loss)
             done = len(self.history)
             if self.cfg.save_every and (done % self.cfg.save_every == 0
                                         or done == n_steps):
@@ -157,6 +164,8 @@ class ElasticSupervisor:
         if registry is not None:
             registry.counter("resilience.checkpoints",
                              "sharded checkpoints written").inc()
+        _record_event("checkpoint.save", subsystem="resilience", path=path,
+                      step=len(self.history))
         return path
 
     def _restore_latest(self) -> str | None:
@@ -206,6 +215,10 @@ class ElasticSupervisor:
                              "elastic re-grid recoveries").inc()
             registry.counter("resilience.dead_ranks",
                              "fail-stopped ranks handled").inc(len(dead))
+        _record_event("resilience.recovery", subsystem="resilience",
+                      severity="critical", step=step, dead_ranks=dead,
+                      world_size=self.topology.world_size,
+                      restored_from=restored_from)
 
     # -- evaluation --------------------------------------------------------
     def validation_loss(self, batch_size: int = 8, n_batches: int = 2,

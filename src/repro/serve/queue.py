@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from ..obs.profile import health as _obs_health
 from ..obs.profile import metrics as _obs_metrics
 from .api import ForecastRequest, Rejected
 from .samplers import TierPolicy, TierRouter
@@ -91,6 +92,11 @@ class AdmissionQueue:
         self._seq += 1
         self.depths[request.tier] = self.depth(request.tier) + 1
         self._gauge()
+        monitor = _obs_health()
+        if monitor is not None:
+            monitor.observe_queue_depth(request.tier,
+                                        self.depth(request.tier),
+                                        policy.max_queue_depth)
         return pending
 
     def requeue(self, pending: PendingRequest) -> None:

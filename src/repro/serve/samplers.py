@@ -27,6 +27,7 @@ import numpy as np
 
 from ..diffusion import SolverConfig, TrigFlow
 from ..diffusion.sampler import Normalizer, count_model_forwards
+from ..obs.profile import health as _obs_health
 from ..obs.profile import metrics as _obs_metrics
 from ..obs.profile import span as _span
 from ..tensor import Tensor, no_grad
@@ -114,16 +115,19 @@ class SloTracker:
 
     def record(self, tier: str, latency_s: float) -> None:
         self.latencies.setdefault(tier, []).append(latency_s)
+        policy = self.policies.get(tier)
         registry = _obs_metrics()
         if registry is not None:
             registry.histogram("serve.latency_s",
                                "served-request latency").observe(
                 latency_s, tier=tier)
-            policy = self.policies.get(tier)
             if policy is not None and latency_s > policy.slo_s:
                 registry.counter("serve.slo_misses",
                                  "completed requests over their tier "
                                  "objective").inc(1, tier=tier)
+        monitor = _obs_health()
+        if monitor is not None and policy is not None:
+            monitor.observe_latency(tier, latency_s, policy.slo_s)
 
     def attainment(self, tier: str) -> float:
         """Fraction of completions within the tier objective (1.0 when

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..diffusion import ResidualForecaster
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
 from ..resilience import ResilienceError, RetryPolicy
 from .api import ForecastRequest, ForecastResponse, Rejected, Timeout
@@ -131,6 +132,10 @@ class ForecastService:
             registry.counter("serve.requests",
                              "request lifecycle events").inc(
                 1, event=event, tier=tier, **labels)
+        _record_event(f"serve.{event}", subsystem="serve",
+                      severity=("warning" if event in ("rejected",
+                                                       "timeout", "failed")
+                                else "info"), tier=tier, **labels)
 
     # -- admission -----------------------------------------------------------
     def _variable_indices(self, request: ForecastRequest) -> list[int] | None:

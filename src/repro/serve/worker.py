@@ -28,6 +28,7 @@ from typing import Callable
 import numpy as np
 
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
 from ..resilience import ClusterFailure, RankFailure, RetryPolicy
 
@@ -101,6 +102,10 @@ class ServeWorkerPool:
             registry.gauge("serve.live_workers",
                            "replica workers still serving").set(
                 len(self.live_workers()))
+        _record_event("serve.worker_dead", subsystem="serve",
+                      severity="critical", rank=worker.rank,
+                      primitive=primitive,
+                      live_workers=len(self.live_workers()))
         with _span("resilience.worker_failstop", category="resilience",
                    rank=worker.rank, primitive=primitive):
             pass

@@ -30,6 +30,7 @@ import shutil
 import numpy as np
 
 from ..nn import EMA, AdamW, Module
+from ..resilience.atomic import atomic_open
 from ..resilience.checksum import payload_checksum
 
 __all__ = [
@@ -59,19 +60,10 @@ def _normalize_npz(path: str) -> str:
 
 
 def _write_npz_atomic(path: str, payload: dict) -> None:
-    """Write ``payload`` to ``path``: temp file in the same directory,
-    fsync, then ``os.replace`` (atomic on POSIX)."""
-    tmp = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.remove(tmp)
-        raise
+    """Write ``payload`` to ``path`` crash-safely (temp + fsync +
+    ``os.replace``, via the shared :func:`repro.resilience.atomic_open`)."""
+    with atomic_open(path, "wb") as fh:
+        np.savez(fh, **payload)
 
 
 def _training_payload(model: Module, optimizer: AdamW | None,

@@ -38,7 +38,9 @@ from ..diffusion import (
 )
 from ..model import Aeris
 from ..nn import EMA, AdamW, WarmupConstantDecay
+from ..obs.profile import health as _obs_health
 from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
 from ..tensor import Tensor
 from .checkpoint import load_sharded_checkpoint, save_sharded_checkpoint
@@ -159,6 +161,9 @@ class Trainer:
                              "updates skipped by the NaN/Inf guard").inc()
             registry.gauge("train.lr_backoff",
                            "NaN-guard LR multiplier").set(self.lr_backoff)
+        _record_event("train.step_skipped", subsystem="train",
+                      severity="warning", step=len(self.history),
+                      loss=repr(value), lr_backoff=self.lr_backoff)
         with _span("resilience.nonfinite_loss", category="resilience",
                    loss=repr(value), lr_backoff=self.lr_backoff):
             pass
@@ -174,32 +179,42 @@ class Trainer:
                                   self.lr_backoff / cfg.lr_backoff_factor)
 
     def _record_step_metrics(self, loss_value: float) -> None:
-        """Per-step telemetry (loss / LR / grad norm / EMA decay).  The
-        gradient norm is only computed while metrics are enabled, so the
-        disabled path stays exactly the seed numerics at zero extra cost."""
+        """Per-step telemetry (loss / LR / grad norm / EMA decay) plus the
+        online health detectors.  The gradient norm is only computed while
+        metrics or health are enabled, so the disabled path stays exactly
+        the seed numerics at zero extra cost."""
         registry = _obs_metrics()
-        if registry is None:
+        monitor = _obs_health()
+        if registry is None and monitor is None:
             return
         cfg = self.config
         sq = 0.0
         for p in self.model.parameters():
             if p.grad is not None:
                 sq += float(np.sum(np.square(p.grad, dtype=np.float64)))
-        registry.counter("train.steps", "optimization steps").inc()
-        registry.counter("train.images", "images consumed").inc(
-            cfg.batch_size)
-        registry.gauge("train.loss", "last training loss").set(loss_value)
-        registry.gauge("train.lr", "current learning rate").set(
-            self.optimizer.lr)
-        registry.gauge("train.grad_norm", "global gradient L2 norm").set(
-            float(np.sqrt(sq)))
-        registry.gauge("train.ema_decay",
-                       "per-step EMA decay factor").set(
-            self.ema.decay_for(cfg.batch_size))
-        registry.histogram("train.loss_hist",
-                           "training loss distribution",
-                           buckets=(0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
-                                    100.0)).observe(loss_value)
+        grad_norm = float(np.sqrt(sq))
+        step = len(self.history) - 1
+        if registry is not None:
+            registry.counter("train.steps", "optimization steps").inc()
+            registry.counter("train.images", "images consumed").inc(
+                cfg.batch_size)
+            registry.gauge("train.loss", "last training loss").set(
+                loss_value)
+            registry.gauge("train.lr", "current learning rate").set(
+                self.optimizer.lr)
+            registry.gauge("train.grad_norm",
+                           "global gradient L2 norm").set(grad_norm)
+            registry.gauge("train.ema_decay",
+                           "per-step EMA decay factor").set(
+                self.ema.decay_for(cfg.batch_size))
+            registry.histogram("train.loss_hist",
+                               "training loss distribution",
+                               buckets=(0.01, 0.1, 0.5, 1.0, 2.0, 5.0,
+                                        10.0, 100.0)).observe(loss_value)
+        if monitor is not None:
+            monitor.observe_step(step, loss_value, grad_norm=grad_norm)
+        _record_event("train.step", subsystem="train", step=step,
+                      loss=loss_value, grad_norm=grad_norm)
 
     def fit(self, n_steps: int, save_every: int | None = None,
             checkpoint_root: str | None = None) -> list[float]:
@@ -243,6 +258,8 @@ class Trainer:
         if registry is not None:
             registry.counter("train.checkpoints",
                              "sharded checkpoints written").inc()
+        _record_event("checkpoint.save", subsystem="train", path=path,
+                      step=len(self.history))
         return path
 
     def load(self, directory: str) -> float:

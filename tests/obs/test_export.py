@@ -1,0 +1,150 @@
+"""Exporters: golden Prometheus exposition text, golden dashboard render
+(both deterministic under :class:`StepClock`), atomic write behaviour."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (FlightRecorder, HealthConfig, HealthMonitor,
+                       MetricsRegistry, StepClock, Tracer, events_jsonl,
+                       prometheus_text, render_dashboard,
+                       write_events_jsonl, write_metrics_json,
+                       write_prometheus)
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("train.steps", "optimization steps").inc(12)
+    reg.gauge("train.loss", "last training loss").set(0.625)
+    reg.counter("serve.requests").inc(3, event="completed", tier="fast")
+    reg.counter("serve.requests").inc(1, event="rejected", tier="high")
+    reg.histogram("serve.latency_s", "served-request latency",
+                  buckets=(0.1, 1.0, 10.0)).observe(0.5, tier="fast")
+    reg.histogram("serve.latency_s",
+                  buckets=(0.1, 1.0, 10.0)).observe(20.0, tier="fast")
+    return reg
+
+
+GOLDEN_PROM = """\
+# HELP serve_latency_s served-request latency
+# TYPE serve_latency_s histogram
+serve_latency_s_bucket{tier="fast",le="0.1"} 0
+serve_latency_s_bucket{tier="fast",le="1"} 1
+serve_latency_s_bucket{tier="fast",le="10"} 1
+serve_latency_s_bucket{tier="fast",le="+Inf"} 2
+serve_latency_s_sum{tier="fast"} 20.5
+serve_latency_s_count{tier="fast"} 2
+# TYPE serve_requests counter
+serve_requests_total{event="completed",tier="fast"} 3
+serve_requests_total{event="rejected",tier="high"} 1
+# HELP train_loss last training loss
+# TYPE train_loss gauge
+train_loss 0.625
+# HELP train_steps optimization steps
+# TYPE train_steps counter
+train_steps_total 12
+"""
+
+
+class TestPrometheus:
+    def test_golden_exposition(self):
+        assert prometheus_text(_registry()) == GOLDEN_PROM
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(1, path='x"y\\z')
+        assert 'path="x\\"y\\\\z"' in prometheus_text(reg)
+
+    def test_write_is_atomic_and_exact(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        assert write_prometheus(_registry(), path) == path
+        assert open(path).read() == GOLDEN_PROM
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["metrics.prom"]  # no stray temp files
+
+
+class TestEventsJsonl:
+    def test_roundtrips_event_dicts(self, tmp_path):
+        rec = FlightRecorder(clock=StepClock())
+        rec.record("a", subsystem="train", x=1)
+        rec.record("b", severity="warning")
+        text = events_jsonl(rec.events())
+        assert [json.loads(line) for line in text.splitlines()] == \
+            [e.to_dict() for e in rec.events()]
+        path = str(tmp_path / "events.jsonl")
+        write_events_jsonl(rec.events(), path)
+        assert open(path).read() == text
+
+
+class TestMetricsJson:
+    def test_snapshot_roundtrip_through_file(self, tmp_path):
+        reg = _registry()
+        path = str(tmp_path / "metrics.json")
+        write_metrics_json(reg, path)
+        restored = MetricsRegistry()
+        restored.load_snapshot(json.loads(open(path).read()))
+        assert restored.snapshot() == reg.snapshot()
+
+
+GOLDEN_DASHBOARD = """\
+================================================================
+                     repro health dashboard
+================================================================
+-- train -------------------------------------------------------
+  train.steps  -                            12
+  train.loss  -                            0.625
+-- serve -------------------------------------------------------
+  serve.requests  event=completed,tier=fast    3
+  serve.requests  event=rejected,tier=high     1
+  serve.latency_s  tier=fast                    n=2 mean=10.25 max=20
+-- alerts (1) --------------------------------------------------
+  [critical] train.loss_nonfinite{step=3} x1  non-finite loss nan at step 3
+-- flight tail (2 events, 0 dropped) ---------------------------
+  #0     train.step           [info] train
+  #1     alert                [critical] train
+================================================================
+"""
+
+
+class TestDashboard:
+    def test_golden_render(self):
+        registry = _registry()
+        recorder = FlightRecorder(clock=StepClock())
+        monitor = HealthMonitor(HealthConfig(), clock=StepClock())
+        recorder.record("train.step", subsystem="train", step=3)
+        # Route the alert into this recorder via the global hook.
+        obs.enable_health(monitor=monitor, recorder=recorder)
+        monitor.observe_step(3, float("nan"))
+        obs.disable_health()
+        panel = render_dashboard(registry=registry, recorder=recorder,
+                                 monitor=monitor, plan_caches={})
+        assert panel == GOLDEN_DASHBOARD
+
+    def test_render_is_deterministic(self):
+        a = render_dashboard(registry=_registry(), plan_caches={})
+        b = render_dashboard(registry=_registry(), plan_caches={})
+        assert a == b
+
+    def test_no_alerts_section_says_none(self):
+        monitor = HealthMonitor(HealthConfig(), clock=StepClock())
+        panel = render_dashboard(registry=MetricsRegistry(),
+                                 monitor=monitor, plan_caches={})
+        assert "(none fired)" in panel
+
+    def test_spans_section_from_tracer(self):
+        tracer = Tracer(clock=StepClock())
+        tracer.add_span("stage", 0.0, 1.0, track="pp0")
+        panel = render_dashboard(registry=MetricsRegistry(),
+                                 tracer=tracer, plan_caches={})
+        assert "-- spans" in panel and "stage" in panel

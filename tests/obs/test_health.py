@@ -1,0 +1,226 @@
+"""Health monitor detectors and the alert funnel, all under
+deterministic clocks so firings are exactly reproducible."""
+
+import pytest
+
+from repro import obs
+from repro.obs import (AlertManager, HealthConfig, HealthMonitor,
+                       MetricsRegistry, StepClock, Tracer)
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _monitor(**overrides) -> HealthMonitor:
+    return HealthMonitor(HealthConfig(**overrides), clock=StepClock())
+
+
+class TestLossDetectors:
+    def test_nonfinite_is_critical_and_does_not_poison_windows(self):
+        mon = _monitor(loss_window=4)
+        for i in range(4):
+            mon.observe_step(i, 1.0)
+        mon.observe_step(4, float("nan"))
+        assert [a.severity for a in
+                mon.alerts.select("train.loss_nonfinite")] == ["critical"]
+        mon.observe_step(5, 1.0)  # window still usable after the NaN
+        assert "train.loss_spike" not in mon.alerts.kinds()
+
+    def test_spike_via_robust_z(self):
+        mon = _monitor(loss_window=8, loss_spike_z=8.0, plateau_steps=10**6)
+        for i in range(8):
+            mon.observe_step(i, 1.0 + 0.01 * (i % 2))
+        mon.observe_step(8, 50.0)
+        spikes = mon.alerts.select("train.loss_spike")
+        assert len(spikes) == 1 and spikes[0].severity == "warning"
+        assert spikes[0].data["z"] > 8.0
+
+    def test_steady_decrease_never_spikes_or_plateaus(self):
+        mon = _monitor(loss_window=8, plateau_steps=16)
+        for i in range(64):
+            mon.observe_step(i, 10.0 * (0.95 ** i))
+        assert mon.alerts.kinds() == set()
+
+    def test_plateau_needs_min_steps_then_fires_info(self):
+        mon = _monitor(plateau_steps=16)
+        for i in range(15):
+            mon.observe_step(i, 1.0)
+        assert "train.loss_plateau" not in mon.alerts.kinds()
+        mon.observe_step(15, 1.0)
+        plateau = mon.alerts.select("train.loss_plateau")
+        assert len(plateau) == 1 and plateau[0].severity == "info"
+
+
+class TestGradDetector:
+    def test_explosion_and_nonfinite(self):
+        mon = _monitor(grad_window=4, grad_explosion_z=10.0)
+        for i in range(4):
+            mon.observe_step(i, 1.0, grad_norm=2.0 + 0.01 * i)
+        mon.observe_step(4, 1.0, grad_norm=500.0)
+        assert len(mon.alerts.select("train.grad_explosion")) == 1
+        mon.observe_step(5, 1.0, grad_norm=float("inf"))
+        assert mon.alerts.select("train.grad_explosion")[0].count == 2
+
+
+class TestServeDetectors:
+    def test_burn_needs_both_windows_over(self):
+        mon = _monitor(burn_fast_window=4, burn_slow_window=16,
+                       slo_error_budget=0.25)
+        for _ in range(16):
+            mon.observe_latency("fast", 0.1, slo_s=1.0)  # all hits
+        assert "serve.slo_burn" not in mon.alerts.kinds()
+        for _ in range(16):
+            mon.observe_latency("fast", 5.0, slo_s=1.0)  # all misses
+        burns = mon.alerts.select("serve.slo_burn")
+        assert burns and burns[0].severity == "critical"
+        assert dict(burns[0].labels) == {"tier": "fast"}
+
+    def test_fast_blip_alone_does_not_page(self):
+        """The multi-window defence: a short burst misses the fast window
+        but the slow window stays under budget."""
+        mon = _monitor(burn_fast_window=4, burn_slow_window=64,
+                       slo_error_budget=0.25, burn_slow_threshold=1.0)
+        for _ in range(60):
+            mon.observe_latency("std", 0.1, slo_s=1.0)
+        for _ in range(4):
+            mon.observe_latency("std", 5.0, slo_s=1.0)  # 4/64 = under
+        assert "serve.slo_burn" not in mon.alerts.kinds()
+
+    def test_queue_saturation_threshold(self):
+        mon = _monitor(queue_saturation_frac=0.9)
+        mon.observe_queue_depth("fast", 8, 10)
+        assert mon.alerts.kinds() == set()
+        mon.observe_queue_depth("fast", 9, 10)
+        assert mon.alerts.kinds() == {"serve.queue_saturation"}
+
+
+class TestPullDetectors:
+    def test_check_faults_maps_meters_to_alert_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.faults_detected").inc(2, kind="flip")
+        reg.histogram("comm.straggler_s").observe(0.05, primitive="p2p")
+        reg.counter("resilience.dead_ranks").inc(1)
+        mon = _monitor()
+        counts = mon.check_faults(reg)
+        assert counts == {"flip": 2, "drop": 0, "straggler": 1,
+                          "failstop": 1}
+        assert mon.alerts.kinds() == {"comm.bitflip", "comm.straggler",
+                                      "resilience.rank_failure"}
+        assert mon.alerts.select("resilience.rank_failure")[0].severity \
+            == "critical"
+
+    def test_check_faults_clean_registry_fires_nothing(self):
+        mon = _monitor()
+        mon.check_faults(MetricsRegistry())
+        assert mon.alerts.kinds() == set()
+
+    def test_skipped_steps_fire_nonfinite(self):
+        reg = MetricsRegistry()
+        reg.counter("train.skipped_steps").inc(3)
+        mon = _monitor()
+        mon.check_faults(reg)
+        assert mon.alerts.kinds() == {"train.loss_nonfinite"}
+
+    def test_rank_straggler_from_span_tracks(self):
+        tracer = Tracer(clock=StepClock())
+        for rank in range(4):
+            busy = 10.0 if rank == 3 else 1.0
+            tracer.add_span("stage", 0.0, busy, track=f"pp{rank}",
+                            category="pp-1f1b")
+        mon = _monitor(straggler_z=4.0)
+        busy = mon.check_rank_balance(tracer)
+        assert busy["pp3"] == 10.0
+        alerts = mon.alerts.select("pp.rank_straggler")
+        assert [dict(a.labels)["track"] for a in alerts] == ["pp3"]
+
+    def test_rank_straggler_needs_min_tracks(self):
+        tracer = Tracer(clock=StepClock())
+        tracer.add_span("stage", 0.0, 1.0, track="pp0", category="pp-1f1b")
+        tracer.add_span("stage", 0.0, 9.0, track="pp1", category="pp-1f1b")
+        mon = _monitor(straggler_min_tracks=3)
+        mon.check_rank_balance(tracer)
+        assert mon.alerts.kinds() == set()
+
+    def test_pipeline_bubble_regression(self):
+        # Two tracks over [0, 10]: busy 2 of 20 slots -> bubble 0.9,
+        # far above the 1F1B closed form for pp=2, M=8.
+        tracer = Tracer(clock=StepClock())
+        tracer.add_span("F", 0.0, 1.0, track="pp0", category="pp-1f1b")
+        tracer.add_span("F", 9.0, 10.0, track="pp1", category="pp-1f1b")
+        mon = _monitor(bubble_margin=0.10)
+        result = mon.check_pipeline(tracer, pp=2, n_micro=8)
+        assert result["observed"] > result["predicted"] + 0.10
+        assert mon.alerts.kinds() == {"pp.bubble_regression"}
+
+    def test_pipeline_no_spans_returns_none(self):
+        mon = _monitor()
+        assert mon.check_pipeline(Tracer(), pp=2, n_micro=8) is None
+
+    def test_plan_cache_collapse(self):
+        stats = {
+            "hot": {"size": 3, "maxsize": 8, "hits": 90, "misses": 10,
+                    "evictions": 0},
+            "cold": {"size": 8, "maxsize": 8, "hits": 10, "misses": 90,
+                     "evictions": 40},
+            "fresh": {"size": 1, "maxsize": 8, "hits": 0, "misses": 2,
+                      "evictions": 0},  # under min lookups: ignored
+        }
+        mon = _monitor(plan_cache_min_lookups=64,
+                       plan_cache_min_hit_rate=0.5)
+        rates = mon.check_plan_caches(stats)
+        assert rates == {"hot": 0.9, "cold": 0.1}
+        alerts = mon.alerts.select("kernels.plan_cache_collapse")
+        assert [dict(a.labels)["cache"] for a in alerts] == ["cold"]
+
+    def test_report_shape(self):
+        mon = _monitor()
+        mon.observe_step(0, 1.0)
+        report = mon.report()
+        assert report["observations"] == 1
+        assert report["ewma_fast"] == 1.0
+        assert report["alert_kinds"] == []
+
+
+class TestAlertManager:
+    def test_dedup_within_cooldown(self):
+        clock = StepClock()  # 1s per reading << cooldown
+        mgr = AlertManager(cooldown_s=60.0, clock=clock)
+        for _ in range(5):
+            mgr.fire("k", "warning", "train", "msg", tier="fast")
+        assert len(mgr.alerts) == 1
+        assert mgr.alerts[0].count == 5
+        assert mgr.fired == 5 and mgr.routed == 1
+
+    def test_refires_after_cooldown(self):
+        clock = StepClock(step=100.0)  # every reading jumps past cooldown
+        mgr = AlertManager(cooldown_s=60.0, clock=clock)
+        mgr.fire("k", "warning", "train", "msg")
+        mgr.fire("k", "warning", "train", "msg")
+        assert len(mgr.alerts) == 1  # still one deduplicated record
+        assert mgr.alerts[0].count == 2
+        assert mgr.routed == 2      # but both firings routed
+
+    def test_distinct_labels_are_distinct_alerts(self):
+        mgr = AlertManager(clock=StepClock())
+        mgr.fire("k", "warning", "serve", "m", tier="fast")
+        mgr.fire("k", "warning", "serve", "m", tier="high")
+        assert len(mgr.alerts) == 2
+        assert len(mgr.select("k")) == 2
+        assert len(mgr.select("k", min_severity="critical")) == 0
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            AlertManager(clock=StepClock()).fire("k", "oops", "train", "m")
+
+    def test_summary_and_clear(self):
+        mgr = AlertManager(clock=StepClock())
+        mgr.fire("k", "info", "train", "m")
+        summary = mgr.summary()
+        assert summary["total_firings"] == 1
+        assert summary["alerts"][0]["kind"] == "k"
+        mgr.clear()
+        assert len(mgr) == 0 and mgr.fired == 0

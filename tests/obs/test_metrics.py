@@ -106,6 +106,40 @@ class TestRegistry:
         s = a.histogram("h", buckets=(1.0, 2.0)).stats()
         assert s["count"] == 2 and s["sum"] == pytest.approx(1.0)
 
+    def test_load_snapshot_merge_true_multi_label(self):
+        """Per-rank snapshot aggregation (the obs_dashboard path):
+        snapshot -> JSON -> load(merge=True) over several files must
+        accumulate shared series, keep rank-disjoint ones, and replay
+        histograms exactly."""
+        ranks = []
+        for rank in range(3):
+            reg = MetricsRegistry()
+            reg.counter("serve.requests", "req").inc(
+                rank + 1, event="completed", tier="fast")
+            reg.counter("serve.requests").inc(1, event="rejected",
+                                              tier=f"t{rank}")
+            reg.gauge("serve.queue_depth").set(float(rank), tier="fast")
+            reg.histogram("serve.latency_s", buckets=(0.1, 1.0)) \
+                .observe(0.05 * (rank + 1), tier="fast")
+            ranks.append(json.loads(reg.to_json()))
+        merged = MetricsRegistry()
+        for snap in ranks:
+            merged.load_snapshot(snap, merge=True)
+        req = merged.counter("serve.requests")
+        assert req.value(event="completed", tier="fast") == 6
+        for rank in range(3):
+            assert req.value(event="rejected", tier=f"t{rank}") == 1
+        # Gauges overwrite on merge: last snapshot loaded wins.
+        assert merged.gauge("serve.queue_depth").value(tier="fast") == 2.0
+        stats = merged.histogram("serve.latency_s", buckets=(0.1, 1.0)) \
+            .stats(tier="fast")
+        assert stats["count"] == 3
+        assert stats["sum"] == pytest.approx(0.3)
+        # And the merged registry itself roundtrips.
+        again = MetricsRegistry()
+        again.load_snapshot(json.loads(merged.to_json()))
+        assert again.snapshot() == merged.snapshot()
+
     def test_merge_snapshots_helper(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.counter("c").inc(1)

@@ -8,7 +8,7 @@ import pytest
 from repro import obs
 from repro.data import ReanalysisConfig, SyntheticReanalysis
 from repro.model import Aeris
-from repro.obs import Span
+from repro.obs import Event, Span
 from repro.parallel import RankTopology, SimCluster, SwipeEngine
 from repro.train import Trainer, TrainerConfig
 from tests.train.test_trainer import TINY16
@@ -53,6 +53,16 @@ class TestDisabledIsFree:
         cluster.send(0, 1, arrays[0])
         assert Span.allocated == before
         assert cluster.stats.total_bytes() > 0  # metering still works
+
+    def test_trainer_allocates_no_events_when_disabled(self):
+        """The flight-recorder hook mirrors the span contract: with no
+        recorder enabled, instrumented paths allocate zero Events."""
+        archive = _small_archive()
+        _train(archive, n_steps=1)  # warm everything up
+        before = Event.allocated
+        _train(archive, n_steps=2)
+        obs.record_event("train.step", subsystem="train", step=0)
+        assert Event.allocated == before
 
     def test_disabled_hooks_share_one_null_scope(self):
         before = Span.allocated

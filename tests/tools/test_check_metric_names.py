@@ -1,0 +1,103 @@
+"""Unit tests for the metric-name lint (``tools/check_metric_names.py``)."""
+
+import os
+import sys
+
+import pytest
+
+TOOLS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "tools")
+sys.path.insert(0, TOOLS_DIR)
+
+import check_metric_names  # noqa: E402
+
+
+class TestCheckName:
+    @pytest.mark.parametrize("name", [
+        "train.steps", "serve.latency_s", "comm.bytes",
+        "kernels.plan_cache_hits", "eval.metric_s", "obs.alerts",
+    ])
+    def test_canonical_names_pass(self, name):
+        assert check_metric_names.check_name(name) is None
+
+    @pytest.mark.parametrize("name", [
+        "steps",                 # no subsystem
+        "train.serve.steps",     # two dots
+        "Train.steps",           # uppercase subsystem
+        "train.Steps",           # uppercase name
+        "train.1steps",          # digit-leading name
+        "train_steps",           # underscore where the dot should be
+    ])
+    def test_shape_violations(self, name):
+        message = check_metric_names.check_name(name)
+        assert message and "subsystem.name" in message
+
+    @pytest.mark.parametrize("name,canonical", [
+        ("serve.latency_ms", "_s"),
+        ("serve.latency_seconds", "_s"),
+        ("comm.payload_mb", "_bytes"),
+        ("serve.hit_ratio", "_frac"),
+        ("serve.hit_pct", "_frac"),
+    ])
+    def test_unit_suffix_violations(self, name, canonical):
+        message = check_metric_names.check_name(name)
+        assert message and canonical in message
+
+
+class TestMetricViolations:
+    def _violations(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return check_metric_names.metric_violations(str(path))
+
+    def test_clean_file_has_none(self, tmp_path):
+        assert self._violations(tmp_path, (
+            "def f(reg):\n"
+            "    reg.counter('train.steps').inc(1)\n"
+            "    reg.histogram('serve.latency_s', buckets=(1.0,))"
+            ".observe(0.5, tier='fast')\n")) == []
+
+    def test_flags_bad_registration_name(self, tmp_path):
+        out = self._violations(
+            tmp_path, "reg.counter('eval.metric_seconds').inc(1)\n")
+        assert [line for line, _ in out] == [1]
+        assert "_seconds" in out[0][1]
+
+    def test_flags_bad_label_on_chained_record(self, tmp_path):
+        out = self._violations(
+            tmp_path, "reg.counter('a.b').inc(1, Tier='fast')\n")
+        assert len(out) == 1 and "Tier" in out[0][1]
+
+    def test_buckets_kwarg_exempt(self, tmp_path):
+        assert self._violations(tmp_path, (
+            "reg.histogram('a.b', buckets=(1.0,))"
+            ".observe(0.5, buckets=(2.0,))\n")) == []
+
+    def test_computed_names_ignored(self, tmp_path):
+        assert self._violations(tmp_path, (
+            "name = 'BAD NAME'\n"
+            "reg.counter(name).inc(1)\n"
+            "reg.counter(f'serve.{name}').inc(1)\n")) == []
+
+    def test_unchained_record_calls_ignored(self, tmp_path):
+        # .set() on arbitrary objects is not a metric write.
+        assert self._violations(
+            tmp_path, "widget.set(1, Color='red')\n") == []
+
+
+class TestMain:
+    def test_main_clean_and_dirty(self, tmp_path, capsys):
+        (tmp_path / "good.py").write_text(
+            "reg.counter('train.steps').inc(1)\n")
+        assert check_metric_names.main([str(tmp_path)]) == 0
+        (tmp_path / "bad.py").write_text(
+            "reg.gauge('queue_depth').set(2)\n")
+        assert check_metric_names.main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.py:1" in err and "queue_depth" in err
+
+    def test_repo_source_is_clean(self):
+        root = os.path.dirname(TOOLS_DIR)
+        assert check_metric_names.main(
+            [os.path.join(root, "src", "repro")]) == 0

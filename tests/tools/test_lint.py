@@ -106,5 +106,6 @@ class TestLintEntrypoint:
         (tree / "exempt" / "printer.py").unlink()
         assert lint.main([str(tree)]) == 0
 
-    def test_registry_covers_both_checkers(self):
-        assert set(lint.CHECKERS) == {"check_no_print", "check_bare_except"}
+    def test_registry_covers_every_checker(self):
+        assert set(lint.CHECKERS) == {"check_no_print", "check_bare_except",
+                                      "check_metric_names"}
