@@ -158,6 +158,18 @@ def run_obs_health_bench(out_dir: str, smoke: bool) -> int:
     return subprocess.run(cmd, cwd=bench_dir).returncode
 
 
+def run_sdc_bench(out_dir: str, smoke: bool) -> int:
+    """Run the ABFT-overhead bench (own process so the module-global
+    guard state it toggles cannot leak into other benches).  The ISSUE's
+    <=10% overhead budget is enforced inside the bench itself."""
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    cmd = [sys.executable, os.path.join(bench_dir, "bench_sdc.py"),
+           "--out", os.path.abspath(out_dir), "--max-overhead", "0.10"]
+    if smoke:
+        cmd.append("--smoke")
+    return subprocess.run(cmd, cwd=bench_dir).returncode
+
+
 def run_figure_benches(out_dir: str, names: list[str]) -> int:
     """Run the analytical figure benches under pytest; their
     ``write_result`` sidecars are redirected to ``out_dir``."""
@@ -206,13 +218,18 @@ def main(argv: list[str] | None = None) -> int:
     if rc_obs != 0:
         print(f"obs health bench FAILED (exit {rc_obs})", file=sys.stderr)
 
+    print("abft overhead bench:")
+    rc_sdc = run_sdc_bench(out_dir, smoke=args.smoke)
+    if rc_sdc != 0:
+        print(f"abft sdc bench FAILED (exit {rc_sdc})", file=sys.stderr)
+
     if args.skip_figures:
-        return rc_obs
+        return rc_obs or rc_sdc
     print("figure benches (pytest, single-shot):")
     rc = run_figure_benches(out_dir, FIGURE_BENCHES)
     if rc != 0:
         print(f"figure benches FAILED (exit {rc})", file=sys.stderr)
-    return rc or rc_obs
+    return rc or rc_obs or rc_sdc
 
 
 if __name__ == "__main__":

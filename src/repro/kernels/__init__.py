@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .abft import abft_enabled, abft_guard, abft_matmul, guard_gemm
 from .fused import (
     fused_apply_rotary,
     fused_dot_product_attention,
@@ -36,6 +37,7 @@ from .window_plans import WindowPlan, plan_merge, plan_partition, window_plan
 
 __all__ = [
     "kernels_enabled", "disable_kernels",
+    "abft_enabled", "abft_guard", "abft_matmul", "guard_gemm",
     "LRUCache", "plan_cache_stats", "clear_plan_caches",
     "WindowPlan", "window_plan", "plan_partition", "plan_merge",
     "rope_tables",

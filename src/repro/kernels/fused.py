@@ -25,6 +25,7 @@ from ..tensor.bf16 import bf16_matmul_enabled, round_bf16
 from ..tensor.flops import add_flops, flops_enabled
 from ..tensor.tensor import _unbroadcast
 from ..tensor.workspace import arena
+from .abft import guard_gemm
 
 __all__ = ["fused_apply_rotary", "fused_dot_product_attention",
            "fused_swiglu_forward"]
@@ -100,6 +101,7 @@ def fused_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         np.matmul(qa_, kT, out=scores)
     else:
         scores = np.matmul(qa_, kT)
+    guard_gemm(qa_, kT, scores, "attention.scores")
     if flops_enabled():
         add_flops(2 * scores.size * qa_.shape[-1])
     scores *= scale
@@ -109,6 +111,7 @@ def fused_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
     probs = scores
     probs_ = round_bf16(probs) if bf16 else probs
     out = probs_ @ va_
+    guard_gemm(probs_, va_, out, "attention.out")
     if flops_enabled():
         add_flops(2 * out.size * probs_.shape[-1])
     if ws is not None:
@@ -161,6 +164,7 @@ def fused_swiglu_forward(x: Tensor, w_gate: np.ndarray, w_up: np.ndarray,
     hidden_dtype = np.result_type(xa_, wg)
     gate = ws.get(hidden_shape, hidden_dtype)
     np.matmul(xa_, wg, out=gate)
+    guard_gemm(xa_, wg, gate, "swiglu.gate")
     if flops_enabled():
         add_flops(2 * gate.size * xa_.shape[-1])
     # silu: sig = 1 / (1 + exp(-h)); h *= sig  (same ufunc chain as
@@ -173,12 +177,14 @@ def fused_swiglu_forward(x: Tensor, w_gate: np.ndarray, w_up: np.ndarray,
     gate *= sig
     up = ws.get(hidden_shape, hidden_dtype)
     np.matmul(xa_, wu, out=up)
+    guard_gemm(xa_, wu, up, "swiglu.up")
     if flops_enabled():
         add_flops(2 * up.size * xa_.shape[-1])
     gate *= up
     gate_ = round_bf16(gate) if bf16 else gate
     wd = round_bf16(w_down) if bf16 else w_down
     out = gate_ @ wd
+    guard_gemm(gate_, wd, out, "swiglu.down")
     if flops_enabled():
         add_flops(2 * out.size * gate_.shape[-1])
     ws.release(up)

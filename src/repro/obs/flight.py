@@ -158,8 +158,11 @@ class FlightRecorder:
                     traceback="".join(
                         traceback.format_exception(exc_type, exc, tb)))
                 self.dump(path)
-            except Exception:  # the hook must never mask the real crash
-                pass
+            except Exception as dump_exc:
+                # The hook must never mask the real crash — report the
+                # failed dump on stderr and fall through to the chain.
+                print(f"flight recorder post-mortem dump failed: "
+                      f"{dump_exc!r}", file=sys.stderr)
             prev(exc_type, exc, tb)
 
         self._prev_excepthook = prev

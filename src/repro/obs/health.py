@@ -55,6 +55,10 @@ FAULT_ALERT_KINDS = {
     "drop": "comm.drop",
     "straggler": "comm.straggler",
     "failstop": "resilience.rank_failure",
+    "sdc_gemm": "compute.gemm_sdc",
+    "sdc_weight": "state.weight_sdc",
+    "sdc_opt": "state.optimizer_sdc",
+    "sdc_forecast": "serve.forecast_sdc",
 }
 
 #: Scale factor making the median absolute deviation a consistent
@@ -224,6 +228,7 @@ class HealthMonitor:
         fault-free run fires none of these kinds — the property
         :meth:`repro.obs.TraceReport.health_check` asserts.
         """
+        sdc = registry.counter("resilience.sdc_detected")
         counts = {
             "flip": registry.counter("comm.faults_detected").total(
                 kind="flip"),
@@ -233,14 +238,24 @@ class HealthMonitor:
                 cell["count"] for cell in registry.histogram(
                     "comm.straggler_s").series.values()),
             "failstop": registry.counter("resilience.dead_ranks").total(),
+            "sdc_gemm": sdc.total(kind="sdc_gemm"),
+            "sdc_weight": sdc.total(kind="sdc_weight"),
+            "sdc_opt": sdc.total(kind="sdc_opt"),
+            "sdc_forecast": registry.counter(
+                "serve.forecasts_quarantined").total(),
         }
         severities = {"flip": "warning", "drop": "warning",
-                      "straggler": "warning", "failstop": "critical"}
+                      "straggler": "warning", "failstop": "critical",
+                      "sdc_gemm": "critical", "sdc_weight": "critical",
+                      "sdc_opt": "critical", "sdc_forecast": "critical"}
+        subsystems = {"failstop": "resilience", "sdc_gemm": "kernels",
+                      "sdc_weight": "train", "sdc_opt": "train",
+                      "sdc_forecast": "serve"}
         for fault, n in counts.items():
             if n > 0:
                 self.alerts.fire(
                     FAULT_ALERT_KINDS[fault], severities[fault],
-                    "resilience" if fault == "failstop" else "comm",
+                    subsystems.get(fault, "comm"),
                     f"{int(n)} {fault} fault(s) observed",
                     data={"count": int(n)})
         skipped = registry.counter("train.skipped_steps").total()

@@ -182,6 +182,64 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    def sdc_check(self, injector) -> dict:
+        """Every *compute-domain* corruption dealt must be detected — and
+        every detection must have closed with a recovery.
+
+        The silent-data-corruption analogue of :meth:`resilience_check`:
+        injected GEMM flips (``sdc_gemm``) and state flips (``sdc_weight``
+        / ``sdc_opt``) reconcile against ``resilience.sdc_detected`` (the
+        ABFT checksums and the guarded step's CRC audit), and poisoned
+        forecasts (``sdc_forecast``) against
+        ``serve.forecasts_quarantined`` (the physical guardrails).  The
+        recovery loop must also close: the guarded trainer books one
+        ``train.step_retries`` rollback per compute/state detection, so a
+        detection that never rolled back — detected but *not* healed —
+        fails the check.
+        """
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        injected = dict(injector.injected)
+        detected = self.registry.counter("resilience.sdc_detected")
+        per_kind = {}
+        agrees = True
+        for kind in ("sdc_gemm", "sdc_weight", "sdc_opt"):
+            dealt = injected.get(kind, 0)
+            seen = detected.total(kind=kind)
+            match = seen == dealt
+            agrees = agrees and match
+            per_kind[kind] = {"injected": dealt, "detected": seen,
+                              "match": match}
+        dealt = injected.get("sdc_forecast", 0)
+        quarantined = self.registry.counter(
+            "serve.forecasts_quarantined").total()
+        per_kind["sdc_forecast"] = {"injected": dealt,
+                                    "detected": quarantined,
+                                    "match": quarantined == dealt}
+        agrees = agrees and quarantined == dealt
+        retries = self.registry.counter("train.step_retries")
+        recovered = {
+            "step_retries": {cause: retries.total(cause=cause)
+                             for cause in ("gemm", "weight", "optimizer")},
+            "guardrail_reruns": self.registry.counter(
+                "serve.guardrail_reruns").total(),
+            "escalations": self.registry.counter(
+                "train.guard_escalations").total(),
+        }
+        compute_detections = sum(per_kind[k]["detected"]
+                                 for k in ("sdc_gemm", "sdc_weight",
+                                           "sdc_opt"))
+        recovery_closed = (sum(recovered["step_retries"].values())
+                           == compute_detections)
+        agrees = agrees and recovery_closed
+        n_spans = len(self.tracer.select(category="resilience"))
+        result = {"check": "sdc_faults", "per_kind": per_kind,
+                  "recovered": recovered,
+                  "recovery_closed": recovery_closed,
+                  "resilience_spans": n_spans, "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- serving accounting --------------------------------------------------
     def serve_check(self, service) -> dict:
         """Every request the service admitted must be answered somewhere.
@@ -296,6 +354,17 @@ class TraceReport:
                 lines.append(
                     f"  resilience faults (injected/observed): "
                     f"{', '.join(parts)} | {c['resilience_spans']} spans | "
+                    f"{'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "sdc_faults":
+                parts = [f"{kind} {r['injected']}/{r['detected']}"
+                         for kind, r in c["per_kind"].items()]
+                reruns = c["recovered"]["guardrail_reruns"]
+                lines.append(
+                    f"  sdc faults (injected/detected): "
+                    f"{', '.join(parts)} | retries "
+                    f"{sum(c['recovered']['step_retries'].values()):g}, "
+                    f"reruns {reruns:g} | recovery "
+                    f"{'closed' if c['recovery_closed'] else 'OPEN'} | "
                     f"{'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "serve_requests":
                 parts = [f"{event} {r['tally']}"

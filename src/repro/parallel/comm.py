@@ -129,6 +129,10 @@ class SimCluster:
         self.stats = CommStats()
         self.injector = injector
         self.retry = retry if retry is not None else RetryPolicy()
+        # Backoff-jitter stream (only drawn when the policy enables
+        # jitter) — separate from the injector's rng so enabling jitter
+        # cannot perturb the fault plan itself.
+        self._retry_rng = np.random.default_rng(0x6A77)
 
     def node_of(self, rank: int) -> int:
         return rank // self.ranks_per_node
@@ -158,6 +162,7 @@ class SimCluster:
             return
         inj.raise_if_dead((src, dst), primitive)
         expected = payload_checksum(payload) if payload is not None else None
+        budget = self.retry.budget()
         attempt = 0
         while True:
             self.stats.add(primitive, locality, nbytes)
@@ -171,16 +176,31 @@ class SimCluster:
                 return
             self._record_detected(primitive, src, dst, fault)
             attempt += 1
-            if attempt > self.retry.max_retries:
-                detail = (f"{primitive} {src}->{dst} still failing after "
-                          f"{self.retry.max_retries} retries")
+            backoff_s = self.retry.backoff_s(attempt, rng=self._retry_rng) \
+                if attempt <= self.retry.max_retries else 0.0
+            over_budget = attempt <= self.retry.max_retries \
+                and not budget.charge(seconds=backoff_s, nbytes=nbytes)
+            if attempt > self.retry.max_retries or over_budget:
+                why = ("retry budget exhausted "
+                       f"(spent {budget.spent_s:.3f}s / "
+                       f"{budget.spent_bytes} retried bytes)"
+                       if over_budget else
+                       f"still failing after {self.retry.max_retries} retries")
+                detail = f"{primitive} {src}->{dst} {why}"
+                if over_budget:
+                    registry = _obs_metrics()
+                    if registry is not None:
+                        registry.counter(
+                            "comm.budget_exhaustions",
+                            "transfers escalated on retry-budget spend").inc(
+                            1, primitive=primitive)
                 _record_event("comm.escalation", subsystem="comm",
                               severity="critical", primitive=primitive,
                               src=src, dst=dst, fault=fault,
-                              retries=self.retry.max_retries)
+                              retries=attempt - 1, reason=why)
                 raise (CommTimeout(detail) if fault == "drop"
                        else MessageCorruption(detail))
-            self._record_retry(primitive, attempt)
+            self._record_retry(primitive, attempt, backoff_s)
 
     def _record_straggler(self, primitive: str, src: int, dst: int,
                           delay_s: float) -> None:
@@ -210,15 +230,18 @@ class SimCluster:
                    primitive=primitive, src=src, dst=dst):
             pass
 
-    def _record_retry(self, primitive: str, attempt: int) -> None:
+    def _record_retry(self, primitive: str, attempt: int,
+                      backoff_s: float | None = None) -> None:
         registry = _obs_metrics()
         if registry is not None:
             registry.counter("comm.retries",
                              "message re-sends after transient faults").inc(
                 1, primitive=primitive)
+            if backoff_s is None:
+                backoff_s = self.retry.backoff_s(attempt)
             registry.histogram("comm.backoff_s",
                                "simulated exponential-backoff waits").observe(
-                self.retry.backoff_s(attempt), primitive=primitive)
+                backoff_s, primitive=primitive)
 
     def _check_group(self, group: list[int], primitive: str) -> None:
         if self.injector is not None:

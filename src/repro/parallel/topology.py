@@ -90,11 +90,14 @@ class RankTopology:
 
         1. drop every DP replica that contains a dead rank — gradient
            math is unchanged, throughput shrinks;
-        2. if no replica survives, shed the model-parallel degree that a
-           restart can rebalance: reduce SP by one, then shrink the WP
+        2. if no replica survives, shed the model-parallel degrees that a
+           restart can rebalance — reduce SP first, then shrink the WP
            grid (the pipeline depth PP is the model's stage structure and
-           cannot shrink);
-        3. if nothing can be shed, raise
+           cannot shrink) — repeatedly, until the shrunken grid fits onto
+           the *surviving* rank count (a single shed can still demand
+           more ranks than are alive, which would re-grid onto dead
+           ranks);
+        3. if nothing sheddable remains, raise
            :class:`~repro.resilience.ClusterFailure`.
 
         Rank ids in the returned topology are renumbered 0..world-1; the
@@ -109,13 +112,21 @@ class RankTopology:
         surviving_dp = self.dp - len(affected)
         if surviving_dp >= 1:
             return RankTopology(surviving_dp, self.pp, self.wp_grid, self.sp)
-        if self.sp > 1:
-            return RankTopology(self.dp, self.pp, self.wp_grid, self.sp - 1)
+        alive = self.world_size - len(dead)
+        sp = self.sp
         w0, w1 = self.wp_grid
-        if w1 > 1:
-            return RankTopology(self.dp, self.pp, (w0, w1 - 1), self.sp)
-        if w0 > 1:
-            return RankTopology(self.dp, self.pp, (w0 - 1, w1), self.sp)
-        raise ClusterFailure(
-            f"no viable degraded topology: {len(dead)} dead rank(s) in a "
-            f"DP={self.dp}, PP={self.pp}, WP={self.wp}, SP={self.sp} grid")
+        shed = False
+        while not shed or self.dp * self.pp * w0 * w1 * sp > alive:
+            if sp > 1:
+                sp -= 1
+            elif w1 > 1:
+                w1 -= 1
+            elif w0 > 1:
+                w0 -= 1
+            else:
+                raise ClusterFailure(
+                    f"no viable degraded topology: {len(dead)} dead "
+                    f"rank(s) in a DP={self.dp}, PP={self.pp}, "
+                    f"WP={self.wp}, SP={self.sp} grid")
+            shed = True
+        return RankTopology(self.dp, self.pp, (w0, w1), sp)

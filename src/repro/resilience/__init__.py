@@ -33,22 +33,28 @@ acyclic.
 
 from .atomic import atomic_open, atomic_write
 from .checksum import payload_checksum, verify_payload
-from .faults import (BitFlip, ClusterFailure, CommTimeout, Drop, FailStop,
-                     FaultInjector, FaultPlan, MessageCorruption,
-                     RankFailure, ResilienceError, Straggle)
-from .retry import RetryPolicy
+from .faults import (BitFlip, ClusterFailure, CommTimeout, ComputeCorruption,
+                     ComputeFault, Drop, FailStop, FaultInjector, FaultPlan,
+                     MessageCorruption, RankFailure, ResilienceError,
+                     Straggle, compute_injector, inject_compute)
+from .retry import RetryBudget, RetryPolicy
 
 _SUPERVISOR_EXPORTS = ("ElasticSupervisor", "SupervisorConfig")
+#: Checkpoint-scrub exports live above repro.train, so they are lazy too.
+_SCRUB_EXPORTS = ("ScrubFinding", "ScrubReport", "latest_valid_checkpoint",
+                  "scrub_checkpoint", "scrub_checkpoints")
 
 __all__ = [
     "atomic_open", "atomic_write",
     "payload_checksum", "verify_payload",
     "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
-    "ClusterFailure",
-    "FailStop", "BitFlip", "Drop", "Straggle",
+    "ClusterFailure", "ComputeCorruption",
+    "FailStop", "BitFlip", "Drop", "Straggle", "ComputeFault",
     "FaultPlan", "FaultInjector",
-    "RetryPolicy",
+    "inject_compute", "compute_injector",
+    "RetryPolicy", "RetryBudget",
     *_SUPERVISOR_EXPORTS,
+    *_SCRUB_EXPORTS,
 ]
 
 
@@ -57,4 +63,8 @@ def __getattr__(name: str):
         import importlib
         module = importlib.import_module(".supervisor", __name__)
         return module if name == "supervisor" else getattr(module, name)
+    if name in _SCRUB_EXPORTS or name == "scrub":
+        import importlib
+        module = importlib.import_module(".scrub", __name__)
+        return module if name == "scrub" else getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

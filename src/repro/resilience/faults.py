@@ -13,7 +13,15 @@ ORBIT's Frontier runs before it) actually meets:
 * **drop** — a message never arrives; the simulated timeout fires and the
   cluster re-sends (transient — :class:`CommTimeout` when exhausted);
 * **straggler** — a link delivers late; no data is lost, but the delay is
-  metered so chaos runs expose tail-latency behaviour.
+  metered so chaos runs expose tail-latency behaviour;
+* **compute-domain SDC** — a bit flips *at rest or in flight through the
+  ALU*, not on the wire: a GEMM output element (:class:`ComputeFault`
+  site ``"gemm"``, detected by the ABFT checksums in
+  :mod:`repro.kernels.abft`), a weight or optimizer shard (sites
+  ``"weight"`` / ``"optimizer"``, detected by the guarded trainer's state
+  audit), or a served forecast (site ``"forecast"``, caught by the
+  physical guardrails in :mod:`repro.serve.guardrails`).  All surface as
+  :class:`ComputeCorruption` and are healed by step rollback / re-serve.
 
 Faults come from a :class:`FaultPlan`: an explicit list of scheduled
 events (deterministic — "the first allreduce transfer of step 3 is
@@ -30,6 +38,7 @@ clear the dead set.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,10 +48,22 @@ from ..obs.profile import record_event as _record_event
 
 __all__ = [
     "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
-    "ClusterFailure",
-    "FailStop", "BitFlip", "Drop", "Straggle",
+    "ClusterFailure", "ComputeCorruption",
+    "FailStop", "BitFlip", "Drop", "Straggle", "ComputeFault",
     "FaultPlan", "FaultInjector",
+    "inject_compute", "compute_injector",
+    "SDC_SITE_KINDS",
 ]
+
+#: Injection/reconciliation kind per compute-fault site: the injector
+#: tallies these in ``injected`` and ``TraceReport.sdc_check`` matches
+#: them against the detections each defense layer booked.
+SDC_SITE_KINDS = {
+    "gemm": "sdc_gemm",
+    "weight": "sdc_weight",
+    "optimizer": "sdc_opt",
+    "forecast": "sdc_forecast",
+}
 
 
 # -- taxonomy of typed failures ------------------------------------------------
@@ -70,6 +91,25 @@ class CommTimeout(ResilienceError):
 
 class ClusterFailure(ResilienceError):
     """No viable degraded topology / restart budget exhausted."""
+
+
+class ComputeCorruption(ResilienceError):
+    """Silent data corruption detected in the compute domain.
+
+    Raised by the ABFT-guarded kernels (a GEMM output failed its
+    row/column checksum), by the guarded trainer's state audit (a weight
+    or optimizer shard changed outside an optimizer step), or by the
+    guarded trainer when bounded step retries are exhausted.  ``site``
+    names where the corruption was localized (``"gemm"``, ``"weight"``,
+    ``"optimizer"``, ``"forecast"``) and ``detail`` carries the
+    localization (kernel label, column index, parameter section, ...).
+    """
+
+    def __init__(self, site: str, detail: str = ""):
+        self.site = site
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"compute corruption in {site}{suffix}")
 
 
 # -- scheduled fault events ----------------------------------------------------
@@ -113,6 +153,23 @@ class Straggle:
 
 
 @dataclass(frozen=True)
+class ComputeFault:
+    """Flip a bit in the compute domain at ``step``.
+
+    ``site`` selects the corruption target: ``"gemm"`` corrupts the
+    output of the ``nth`` ABFT-guarded GEMM executed that step,
+    ``"weight"`` / ``"optimizer"`` flip one bit in the live model /
+    optimizer state before the step runs, and ``"forecast"`` poisons one
+    served forecast on the ``step``-th dispatch (``nth`` selects which
+    guarded call within the dispatch).
+    """
+
+    step: int = 0
+    site: str = "gemm"
+    nth: int = 0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Scheduled events plus seeded background fault rates.
 
@@ -127,13 +184,15 @@ class FaultPlan:
     p_drop: float = 0.0
     p_straggle: float = 0.0
     straggle_delay_s: float = 0.02
+    p_compute: float = 0.0
 
     @classmethod
     def chaos(cls, seed: int, p_bitflip: float = 0.01, p_drop: float = 0.01,
-              p_straggle: float = 0.02, events: tuple = ()) -> "FaultPlan":
+              p_straggle: float = 0.02, events: tuple = (),
+              p_compute: float = 0.0) -> "FaultPlan":
         """A background-noise chaos plan (optionally with scheduled events)."""
         return cls(events=tuple(events), seed=seed, p_bitflip=p_bitflip,
-                   p_drop=p_drop, p_straggle=p_straggle)
+                   p_drop=p_drop, p_straggle=p_straggle, p_compute=p_compute)
 
 
 class FaultInjector:
@@ -157,6 +216,7 @@ class FaultInjector:
         self.dead: set[int] = set()
         self.injected: dict = defaultdict(int)
         self._spent_failstops: set = set()
+        self._spent_state: set = set()
         self._n: dict = defaultdict(int)  # per-step transfer index by primitive
         self.advance(0)
 
@@ -242,6 +302,89 @@ class FaultInjector:
             raw[pos] ^= 1 << int(self.rng.integers(8))
         return np.frombuffer(bytes(raw), dtype=a.dtype).reshape(a.shape)
 
+    # -- compute-domain faults ---------------------------------------------
+    def compute_fault(self, site: str = "gemm") -> bool:
+        """Fault decision for one guarded compute operation at ``site``.
+
+        Scheduled :class:`ComputeFault` events hit the ``nth`` guarded
+        call of their site within the current step; the background
+        ``p_compute`` rate applies to every call independently.  Returns
+        ``True`` when the caller must corrupt its output (and the fault
+        is booked as injected).  A rolled-back retry re-runs *clean*
+        because the per-step call index has moved past the scheduled
+        ``nth`` — mirroring how a transient hardware flip does not recur
+        deterministically.
+        """
+        key = f"sdc:{site}"
+        idx = self._n[key]
+        self._n[key] += 1
+        fired = False
+        for ev in self.plan.events:
+            if (isinstance(ev, ComputeFault) and ev.site == site
+                    and ev.step == self.step and ev.nth == idx):
+                fired = True
+        if not fired and self.plan.p_compute \
+                and self.rng.random() < self.plan.p_compute:
+            fired = True
+        if fired:
+            self._record_injected(SDC_SITE_KINDS.get(site, f"sdc_{site}"))
+        return fired
+
+    def state_faults(self) -> list[str]:
+        """Scheduled state-corruption sites (``"weight"`` /
+        ``"optimizer"``) due at the current step, each consumed exactly
+        once — the guarded trainer applies them via
+        :meth:`corrupt_state` before running the step."""
+        sites: list[str] = []
+        for ev in self.plan.events:
+            if (isinstance(ev, ComputeFault)
+                    and ev.site in ("weight", "optimizer")
+                    and ev.step == self.step and ev not in self._spent_state):
+                self._spent_state.add(ev)
+                sites.append(ev.site)
+        return sites
+
+    def corrupt_state(self, arrays, site: str) -> None:
+        """Flip one seeded bit *in place* across ``arrays`` — persistent
+        state corruption (any bit: the CRC audit catches them all)."""
+        arrays = [np.asarray(a) for a in arrays if np.asarray(a).size]
+        if not arrays:
+            return
+        arr = arrays[int(self.rng.integers(len(arrays)))]
+        raw = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+        pos = int(self.rng.integers(raw.size))
+        raw[pos] ^= np.uint8(1 << int(self.rng.integers(8)))
+        self._record_injected(SDC_SITE_KINDS.get(site, f"sdc_{site}"))
+
+    def corrupt_compute(self, array: np.ndarray) -> None:
+        """Flip the high exponent bit of one seeded element *in place* —
+        the detectable class of GEMM corruption (a transient that lands
+        below the checksum noise floor is numerically indistinguishable
+        from rounding and is out of the threat model)."""
+        flat = array.reshape(-1)
+        if not flat.size:
+            return
+        idx = int(self.rng.integers(flat.size))
+        if array.dtype == np.float64:
+            flat.view(np.uint64)[idx] ^= np.uint64(1) << np.uint64(62)
+        elif array.dtype == np.float32:
+            flat.view(np.uint32)[idx] ^= np.uint32(1) << np.uint32(30)
+        else:  # fall back to a sign flip for other real dtypes
+            flat[idx] = -flat[idx] if flat[idx] != 0 else flat.dtype.type(1)
+
+    def poison_forecast(self, arrays) -> None:
+        """Poison one seeded element of one forecast array *in place*
+        with a physically absurd value (NaN or ±huge) — the class of
+        output corruption the serve guardrails are specified to catch."""
+        arrays = [a for a in arrays if a.size]
+        if not arrays:
+            return
+        arr = arrays[int(self.rng.integers(len(arrays)))]
+        flat = arr.reshape(-1)
+        idx = int(self.rng.integers(flat.size))
+        poison = (np.nan, 1e30, -1e30)[int(self.rng.integers(3))]
+        flat[idx] = poison
+
     # -- bookkeeping -------------------------------------------------------
     def _record_injected(self, kind: str) -> None:
         self.injected[kind] += 1
@@ -251,3 +394,29 @@ class FaultInjector:
                              "faults dealt by the injector").inc(1, kind=kind)
         _record_event("fault.injected", subsystem="resilience",
                       severity="warning", fault=kind, step=self.step)
+
+
+# -- global compute-fault scope ------------------------------------------------
+# The ABFT-guarded kernels sit far below the trainer and take raw arrays,
+# so the active injector travels through module state rather than every
+# call signature — same pattern as the obs hooks in repro.obs.profile.
+_COMPUTE_INJECTOR: FaultInjector | None = None
+
+
+def compute_injector() -> FaultInjector | None:
+    """The injector whose compute faults guarded kernels must consult
+    (``None`` outside an :func:`inject_compute` scope)."""
+    return _COMPUTE_INJECTOR
+
+
+@contextmanager
+def inject_compute(injector: FaultInjector | None):
+    """Install ``injector`` as the compute-fault source for the dynamic
+    extent of the block (``None`` is a no-op scope)."""
+    global _COMPUTE_INJECTOR
+    previous = _COMPUTE_INJECTOR
+    _COMPUTE_INJECTOR = injector
+    try:
+        yield injector
+    finally:
+        _COMPUTE_INJECTOR = previous

@@ -1,0 +1,147 @@
+"""Background CRC scrubbing over retained sharded checkpoints.
+
+At-rest state rots: storage firmware bugs, torn writes behind a crashed
+node, and plain bit rot all corrupt checkpoint shards *after* a clean
+save.  Waiting until a resume to discover that is the worst time — the
+newest generation is exactly the one a recovering run reaches for.  The
+scrubber walks every retained generation, re-verifies each array against
+the per-array CRC32s in the checkpoint manifest, and reports findings
+without raising, so one rotten generation never hides the health of the
+others (contrast :func:`repro.train.read_sharded_checkpoint`, which
+fail-stops on the first mismatch because its caller is about to *use*
+the arrays).
+
+Paired with N-replica retention (``TrainerConfig.keep_checkpoints`` /
+:func:`repro.train.prune_checkpoints`) and fall-back resume
+(:meth:`repro.train.Trainer.load_latest`), this closes the state-domain
+corruption loop: scrub finds rot early, retention guarantees an older
+intact generation exists, resume skips past the rotten one bit-exactly.
+
+``tools/scrub_checkpoints.py`` is the operational CLI over this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
+from ..train.checkpoint import (MANIFEST_NAME, CheckpointCorruption,
+                                CheckpointError, list_checkpoints,
+                                read_sharded_checkpoint)
+from .checksum import payload_checksum
+
+__all__ = ["ScrubFinding", "ScrubReport", "scrub_checkpoint",
+           "scrub_checkpoints", "latest_valid_checkpoint"]
+
+
+@dataclass(frozen=True)
+class ScrubFinding:
+    """One corrupted array (or unreadable shard) in one generation."""
+
+    shard: str
+    array: str
+    reason: str
+
+
+@dataclass
+class ScrubReport:
+    """Verification result for one checkpoint generation."""
+
+    directory: str
+    n_arrays: int = 0
+    nbytes: int = 0
+    findings: list[ScrubFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        status = "OK" if self.ok else f"CORRUPT ({len(self.findings)})"
+        lines = [f"{self.directory}: {status}  "
+                 f"[{self.n_arrays} arrays, {self.nbytes:,} bytes]"]
+        for f in self.findings:
+            lines.append(f"  {f.shard}:{f.array}: {f.reason}")
+        return "\n".join(lines)
+
+
+def scrub_checkpoint(directory: str) -> ScrubReport:
+    """Verify every array of one generation against its manifest CRCs.
+
+    Collects *all* findings instead of raising on the first, so an
+    operator sees the full blast radius of a rotten generation.
+    """
+    report = ScrubReport(directory=directory)
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as exc:
+        report.findings.append(
+            ScrubFinding(MANIFEST_NAME, "-", f"manifest unreadable: {exc}"))
+        return report
+    for fname, entry in manifest.get("shards", {}).items():
+        fpath = os.path.join(directory, fname)
+        try:
+            with np.load(fpath) as data:
+                arrays = {name: data[name] for name in data.files}
+        except Exception as exc:
+            report.findings.append(
+                ScrubFinding(fname, "-", f"shard unreadable: {exc}"))
+            continue
+        for name, expected in entry.get("arrays", {}).items():
+            if name not in arrays:
+                report.findings.append(
+                    ScrubFinding(fname, name, "array missing from shard"))
+                continue
+            array = arrays[name]
+            report.n_arrays += 1
+            report.nbytes += int(array.nbytes)
+            observed = payload_checksum(array)
+            if observed != expected:
+                report.findings.append(ScrubFinding(
+                    fname, name,
+                    f"crc mismatch (manifest {expected}, shard {observed})"))
+    return report
+
+
+def scrub_checkpoints(root: str) -> list[ScrubReport]:
+    """Scrub every retained generation under ``root`` (oldest first),
+    booking telemetry per generation and alert-grade events per corrupt
+    one."""
+    reports = []
+    for directory in list_checkpoints(root):
+        report = scrub_checkpoint(directory)
+        reports.append(report)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("resilience.checkpoints_scrubbed",
+                             "checkpoint generations CRC-verified").inc()
+            if not report.ok:
+                registry.counter(
+                    "resilience.scrub_corruptions",
+                    "corrupted arrays found by the scrubber").inc(
+                    len(report.findings))
+        if not report.ok:
+            _record_event("checkpoint.scrub_corrupt", subsystem="resilience",
+                          severity="critical", path=directory,
+                          findings=len(report.findings))
+    return reports
+
+
+def latest_valid_checkpoint(root: str) -> str | None:
+    """The newest generation under ``root`` that fully reads back and
+    verifies (the one :meth:`repro.train.Trainer.load_latest` would
+    restore), or ``None`` when every generation is rotten."""
+    for directory in reversed(list_checkpoints(root)):
+        try:
+            read_sharded_checkpoint(directory, verify=True)
+        except (CheckpointError, CheckpointCorruption):
+            continue
+        return directory
+    return None

@@ -24,6 +24,10 @@ forecasts — not recomputing them — is what makes serving tractable):
 * :mod:`~repro.serve.worker` — :class:`ServeWorkerPool`: N replica
   workers under the :mod:`repro.resilience` fault machinery (fail-stop
   degrades capacity; transient faults heal);
+* :mod:`~repro.serve.guardrails` — :class:`ForecastValidator`: physical
+  per-variable bounds (from archive statistics) + finiteness checks —
+  the output-domain silent-data-corruption defense (quarantine, re-run
+  on a different worker, alert);
 * :mod:`~repro.serve.service` — :class:`ForecastService`: the
   discrete-event serving loop gluing it all together.
 
@@ -38,6 +42,7 @@ from .api import (TIERS, ForecastRequest, ForecastResponse, Rejected,
 from .batcher import BatcherConfig, MemberTask, MicroBatch, MicroBatcher
 from .cache import (CacheEntry, ForecastCache, array_digest, forecast_key,
                     solver_digest, weights_digest)
+from .guardrails import BoundViolation, ForecastValidator
 from .queue import AdmissionQueue, PendingRequest, QueueConfig
 from .samplers import (OneStepForecaster, SloTracker, TierPolicy,
                        TierRouter, default_tiers)
@@ -54,5 +59,6 @@ __all__ = [
     "TierPolicy", "TierRouter", "SloTracker", "OneStepForecaster",
     "default_tiers",
     "ServeWorkerPool", "WorkerState",
+    "ForecastValidator", "BoundViolation",
     "ForecastService", "ServiceConfig",
 ]

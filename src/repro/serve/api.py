@@ -93,6 +93,10 @@ class ForecastResponse:
     requested variable subset) and ``None`` unless completed.
     ``batch_forwards`` / ``batch_members`` describe the micro-batch that
     served the request (shared across coalesced requests).
+    ``quarantines`` counts how many times a physical guardrail
+    quarantined this request's forecast before it was served (a served
+    response with ``quarantines > 0`` was healed by a re-run on a
+    different worker).
     """
 
     request: ForecastRequest
@@ -106,6 +110,7 @@ class ForecastResponse:
     batch_members: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    quarantines: int = 0
 
     @property
     def ok(self) -> bool:

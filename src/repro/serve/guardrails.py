@@ -1,0 +1,110 @@
+"""Physical forecast guardrails: the last line of SDC defense.
+
+ABFT (:mod:`repro.kernels.abft`) defends the GEMMs and the guarded
+trainer defends the state, but serving is the boundary where *any*
+undetected upstream flip would reach a user.  The guardrail is physical:
+every served trajectory must be finite and every variable must stay
+inside bounds derived from the archive statistics the model was trained
+on (``mean ± z_max·std`` per channel, from a
+:class:`repro.data.FieldNormalizer`).  A 500 hPa geopotential of
+``1e30`` or a NaN surface temperature is not a forecast — it is
+corruption, whatever produced it.
+
+:class:`ForecastValidator` is pure and read-only; the enforcement policy
+(quarantine the response, re-run the batch on a *different* worker,
+alert, fail the request if still absurd) lives in
+:class:`repro.serve.ForecastService`.  ``z_max`` defaults to 8 standard
+deviations: far outside any state the training distribution contains,
+far inside what a flipped exponent bit produces — so the guard never
+fires on a legitimate (even badly wrong) forecast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundViolation", "ForecastValidator"]
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """One violated per-channel constraint in one forecast."""
+
+    channel: int
+    name: str
+    kind: str        # "nonfinite" | "below" | "above"
+    count: int       # offending elements in the trajectory
+    worst: float     # most extreme offending value (NaN for nonfinite)
+
+    def render(self) -> str:
+        return (f"{self.name}[{self.channel}] {self.kind} x{self.count} "
+                f"(worst {self.worst!r})")
+
+
+class ForecastValidator:
+    """Per-variable finiteness + physical-bounds check on ``(..., C)``
+    forecasts.
+
+    ``lower`` / ``upper`` are per-channel physical bounds; ``names``
+    labels channels in violation reports (defaults to ``ch<i>``).
+    """
+
+    def __init__(self, lower, upper, names=None):
+        self.lower = np.asarray(lower, dtype=np.float64).reshape(-1)
+        self.upper = np.asarray(upper, dtype=np.float64).reshape(-1)
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("lower/upper must have one bound per channel")
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound above upper bound")
+        self.names = (list(names) if names is not None
+                      else [f"ch{i}" for i in range(self.lower.size)])
+        if len(self.names) != self.lower.size:
+            raise ValueError("one name per channel required")
+
+    @classmethod
+    def from_normalizer(cls, norm, z_max: float = 8.0,
+                        names=None) -> "ForecastValidator":
+        """Bounds from archive statistics: ``mean ± z_max·std`` per
+        channel (``norm`` is a :class:`repro.data.FieldNormalizer`)."""
+        mean = np.asarray(norm.mean, dtype=np.float64).reshape(-1)
+        std = np.asarray(norm.std, dtype=np.float64).reshape(-1)
+        return cls(mean - z_max * std, mean + z_max * std, names=names)
+
+    @property
+    def channels(self) -> int:
+        return self.lower.size
+
+    def validate(self, forecast: np.ndarray) -> list[BoundViolation]:
+        """All violated constraints of one physical ``(..., C)`` forecast
+        (empty list = clean).  Read-only; NaN/Inf never escape as
+        false-negatives (comparisons with NaN are handled explicitly)."""
+        if forecast.shape[-1] != self.channels:
+            raise ValueError(f"forecast has {forecast.shape[-1]} channels, "
+                             f"validator expects {self.channels}")
+        flat = forecast.reshape(-1, self.channels)
+        violations: list[BoundViolation] = []
+        finite = np.isfinite(flat)
+        with np.errstate(invalid="ignore"):
+            # Nonfinite elements report once, as "nonfinite" — not again
+            # as bound violations (±inf would otherwise double-count).
+            below = (flat < self.lower) & finite
+            above = (flat > self.upper) & finite
+        for c in range(self.channels):
+            col = flat[:, c]
+            n_nonfinite = int((~finite[:, c]).sum())
+            if n_nonfinite:
+                violations.append(BoundViolation(
+                    c, self.names[c], "nonfinite", n_nonfinite, float("nan")))
+            n_below = int(below[:, c].sum())
+            if n_below:
+                violations.append(BoundViolation(
+                    c, self.names[c], "below", n_below,
+                    float(col[below[:, c]].min())))
+            n_above = int(above[:, c].sum())
+            if n_above:
+                violations.append(BoundViolation(
+                    c, self.names[c], "above", n_above,
+                    float(col[above[:, c]].max())))
+        return violations

@@ -56,6 +56,9 @@ class ServiceConfig:
     cache_bytes: int = 64 << 20
     queue: QueueConfig = field(default_factory=QueueConfig)
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    #: Re-dispatches a quarantined batch may attempt (on a *different*
+    #: worker) before its still-invalid requests fail.
+    guardrail_reruns: int = 1
 
 
 class ForecastService:
@@ -77,6 +80,13 @@ class ForecastService:
     cluster / injector / retry:
         Resilience wiring for the worker pool (see
         :class:`~repro.serve.ServeWorkerPool`).
+    validator:
+        Optional :class:`~repro.serve.ForecastValidator`.  When set,
+        every served forecast is checked against per-variable physical
+        bounds *before* the response leaves the service; a violating
+        batch is quarantined, re-run on a different worker (bounded by
+        ``ServiceConfig.guardrail_reruns``), and fails only if still
+        absurd.
     """
 
     def __init__(self, forecaster: ResidualForecaster, student=None,
@@ -84,10 +94,12 @@ class ForecastService:
                  router: TierRouter | None = None,
                  variable_names: Sequence[str] | None = None,
                  cluster=None, injector=None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None,
+                 validator=None):
         self.config = config if config is not None else ServiceConfig()
         self.router = router if router is not None else TierRouter()
         self.base = forecaster
+        self.validator = validator
         self.variable_names = (list(variable_names)
                                if variable_names is not None else None)
         self.cache = ForecastCache(self.config.cache_bytes)
@@ -265,6 +277,78 @@ class ForecastService:
         indices = self._variable_indices(request)
         return forecast if indices is None else forecast[..., indices]
 
+    # -- physical guardrails -------------------------------------------------
+    def _poison_result(self, batch: MicroBatch, result: dict) -> None:
+        """Compute-domain fault injection at the output boundary: when the
+        injector fires a ``forecast`` fault for this dispatch, poison the
+        assembled response arrays (copies — the cache stays clean, exactly
+        like hardware corrupting a response buffer after the fact)."""
+        inj = self.pool.injector
+        if inj is not None and inj.compute_fault("forecast"):
+            inj.poison_forecast([result["per_request"][id(p)]["forecast"]
+                                 for p in batch.requests])
+
+    def _record_quarantine(self, pending: PendingRequest, violations,
+                           worker_rank: int) -> None:
+        tier = pending.request.tier
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("serve.forecasts_quarantined",
+                             "forecasts failing physical guardrails").inc(
+                1, tier=tier)
+        _record_event("serve.forecast_quarantined", subsystem="serve",
+                      severity="critical", tier=tier, worker=worker_rank,
+                      violations="; ".join(v.render()
+                                           for v in violations[:4]))
+        with _span("resilience.forecast_sdc", category="resilience",
+                   tier=tier, worker=worker_rank):
+            pass
+
+    def _guard_result(self, batch: MicroBatch, payload: np.ndarray,
+                      worker, end: float, result: dict
+                      ) -> tuple[object, float, dict, dict, set]:
+        """Validate every per-request forecast against the physical
+        guardrails; quarantine + re-dispatch on a different worker while
+        re-runs remain.  Returns ``(worker, end, result, quarantine_counts,
+        failed_ids)`` — requests in ``failed_ids`` were still invalid after
+        the last permitted re-run."""
+        self._poison_result(batch, result)
+        if self.validator is None:
+            return worker, end, result, {}, set()
+        qcounts: dict[int, int] = {}
+        reruns = 0
+        while True:
+            bad = []
+            for pending in batch.requests:
+                per = result["per_request"][id(pending)]
+                violations = self.validator.validate(per["forecast"])
+                if violations:
+                    bad.append(pending)
+                    qcounts[id(pending)] = qcounts.get(id(pending), 0) + 1
+                    self._record_quarantine(pending, violations, worker.rank)
+            if not bad:
+                return worker, end, result, qcounts, set()
+            if reruns >= self.config.guardrail_reruns:
+                return worker, end, result, qcounts, {id(p) for p in bad}
+            reruns += 1
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.counter("serve.guardrail_reruns",
+                                 "quarantined batches re-dispatched").inc(
+                    1, tier=batch.policy.name)
+            _record_event("serve.guardrail_rerun", subsystem="serve",
+                          severity="warning", tier=batch.policy.name,
+                          excluded_worker=worker.rank,
+                          quarantined=len(bad))
+            try:
+                worker, end, result = self.pool.dispatch(
+                    end, lambda: self._execute(batch), payload=payload,
+                    exclude=worker.rank)
+            except ResilienceError:
+                return worker, end, result, qcounts, \
+                    {id(p) for p in batch.requests}
+            self._poison_result(batch, result)
+
     # -- the event loop ------------------------------------------------------
     def run(self, requests: Sequence[ForecastRequest],
             start_s: float = 0.0) -> list[ForecastResponse]:
@@ -320,8 +404,14 @@ class ForecastService:
                     responses.append(self._failed_response(pending,
                                                            str(exc)))
                 continue
+            worker, end, result, qcounts, failed_ids = self._guard_result(
+                batch, payload, worker, end, result)
             for pending in batch.requests:
                 req = pending.request
+                if id(pending) in failed_ids:
+                    responses.append(self._failed_response(
+                        pending, "forecast failed physical guardrails"))
+                    continue
                 per = result["per_request"][id(pending)]
                 latency = end - req.arrival_s
                 self._count("completed", req.tier)
@@ -335,7 +425,8 @@ class ForecastService:
                     batch_forwards=result["forwards"],
                     batch_members=result["members"],
                     cache_hits=per["cache_hits"],
-                    cache_misses=per["cache_misses"]))
+                    cache_misses=per["cache_misses"],
+                    quarantines=qcounts.get(id(pending), 0)))
         return responses
 
     def serve(self, request: ForecastRequest) -> ForecastResponse:

@@ -122,7 +122,8 @@ class ServeWorkerPool:
                               nbytes, payload=payload)
 
     def dispatch(self, now: float, execute: Callable[[], object],
-                 payload: np.ndarray | None = None
+                 payload: np.ndarray | None = None,
+                 exclude: int | None = None
                  ) -> tuple[WorkerState, float, object]:
         """Run ``execute`` on the earliest-free live worker.
 
@@ -131,7 +132,10 @@ class ServeWorkerPool:
         wall duration of the stacked forwards.  A dead worker fails over
         to the next live one (bounded by the retry policy); transient
         fabric faults that exhaust their retries propagate as the typed
-        resilience errors.
+        resilience errors.  ``exclude`` steers the batch away from one
+        rank — a guardrail re-run must land on a *different* worker so a
+        sticky-faulty replica can't re-serve its own corruption — unless
+        that rank is the only live capacity left.
         """
         if self.injector is not None:
             self.injector.advance(self.n_dispatches)
@@ -142,7 +146,8 @@ class ServeWorkerPool:
             live = self.live_workers()
             if not live:
                 raise ClusterFailure("no live serve workers")
-            worker = min(live, key=lambda w: (w.free_at, w.rank))
+            candidates = [w for w in live if w.rank != exclude] or live
+            worker = min(candidates, key=lambda w: (w.free_at, w.rank))
             try:
                 self._ship_inputs(worker, payload, nbytes)
             except RankFailure:

@@ -3,9 +3,9 @@ checkpointing."""
 
 from .checkpoint import (CheckpointCorruption, CheckpointError,
                          list_checkpoints, load_checkpoint,
-                         load_sharded_checkpoint, read_sharded_checkpoint,
-                         save_checkpoint, save_sharded_checkpoint,
-                         write_sharded_checkpoint)
+                         load_sharded_checkpoint, prune_checkpoints,
+                         read_sharded_checkpoint, save_checkpoint,
+                         save_sharded_checkpoint, write_sharded_checkpoint)
 from .finetune import MultistepConfig, MultistepFinetuner
 from .trainer import Trainer, TrainerConfig, evaluate_validation_loss
 
@@ -13,5 +13,6 @@ __all__ = ["Trainer", "TrainerConfig", "save_checkpoint", "load_checkpoint",
            "CheckpointError", "CheckpointCorruption",
            "save_sharded_checkpoint", "load_sharded_checkpoint",
            "write_sharded_checkpoint", "read_sharded_checkpoint",
-           "list_checkpoints", "evaluate_validation_loss",
+           "list_checkpoints", "prune_checkpoints",
+           "evaluate_validation_loss",
            "MultistepFinetuner", "MultistepConfig"]

@@ -38,7 +38,7 @@ __all__ = [
     "save_checkpoint", "load_checkpoint",
     "write_sharded_checkpoint", "read_sharded_checkpoint",
     "save_sharded_checkpoint", "load_sharded_checkpoint",
-    "list_checkpoints",
+    "list_checkpoints", "prune_checkpoints",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -231,6 +231,23 @@ def list_checkpoints(root: str) -> list[str]:
         return []
     return [os.path.join(root, name) for name in sorted(os.listdir(root))
             if os.path.isfile(os.path.join(root, name, MANIFEST_NAME))]
+
+
+def prune_checkpoints(root: str, keep: int) -> list[str]:
+    """N-replica retention: delete all but the newest ``keep`` checkpoint
+    generations under ``root``; returns the directories removed.
+
+    Retaining several generations is what makes scrub-and-fall-back
+    resume possible — a corrupted newest generation is only survivable
+    while an older intact one still exists.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    removed = []
+    for directory in list_checkpoints(root)[:-keep]:
+        shutil.rmtree(directory)
+        removed.append(directory)
+    return removed
 
 
 def save_sharded_checkpoint(directory: str, model: Module,

@@ -19,12 +19,28 @@ run and a poisoned step —
 * a NaN/Inf guard skips the optimizer/EMA update when a step's loss goes
   non-finite and multiplicatively backs off the learning rate
   (recovering after a run of clean steps) — the standard large-run
-  defence against one poisoned batch destroying the weights.
+  defence against one poisoned batch destroying the weights;
+* with ``TrainerConfig(guarded=True)`` every step runs under the **SDC
+  guard**: a retained micro-state (weights, optimizer moments, EMA,
+  counters, generator states) is kept from the end of the last clean
+  step, the live weight/optimizer shards are CRC-audited against it
+  before each step, and the step body executes inside an
+  :func:`repro.resilience.inject_compute` scope so the ABFT-guarded
+  kernels can detect a corrupted GEMM.  On
+  :class:`~repro.resilience.ComputeCorruption` (or a retryable
+  non-finite loss) the trainer rolls back to the retained micro-state
+  and recomputes — bounded by ``max_step_retries``, then escalates to
+  the :class:`~repro.resilience.ElasticSupervisor`.  A fault-free
+  guarded run is bit-exact with an unguarded one (the guard only reads
+  and copies), and a recovered run is bit-exact with a never-faulted
+  one (rollback restores the generator states, so the retry replays the
+  identical step).
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,10 +58,25 @@ from ..obs.profile import health as _obs_health
 from ..obs.profile import metrics as _obs_metrics
 from ..obs.profile import record_event as _record_event
 from ..obs.profile import span as _span
+from ..resilience.faults import (SDC_SITE_KINDS, ComputeCorruption,
+                                 inject_compute)
 from ..tensor import Tensor
-from .checkpoint import load_sharded_checkpoint, save_sharded_checkpoint
+from .checkpoint import (CheckpointCorruption, CheckpointError,
+                         list_checkpoints, load_sharded_checkpoint,
+                         prune_checkpoints, save_sharded_checkpoint)
 
 __all__ = ["TrainerConfig", "Trainer", "evaluate_validation_loss"]
+
+
+class _NonFiniteLoss(Exception):
+    """Internal: a guarded step produced a non-finite loss with retries
+    remaining — rolled back and recomputed (an SDC that slipped past the
+    ABFT net can poison the loss; a *deterministic* divergence reproduces
+    on retry and then falls through to the classic skip/LR-backoff)."""
+
+    def __init__(self, value: float):
+        self.value = value
+        super().__init__(f"non-finite loss {value!r}")
 
 
 @dataclass(frozen=True)
@@ -69,6 +100,12 @@ class TrainerConfig:
     lr_backoff_factor: float = 0.5
     #: ... recovered one factor at a time after this many clean steps.
     lr_recover_steps: int = 25
+    #: run every step under the SDC guard (state audit + rollback/retry).
+    guarded: bool = False
+    #: rollback-and-recompute attempts per step before escalating.
+    max_step_retries: int = 2
+    #: keep only the newest N autosaved checkpoint generations (0 = all).
+    keep_checkpoints: int = 0
 
 
 class Trainer:
@@ -76,7 +113,7 @@ class Trainer:
 
     def __init__(self, model: Aeris, archive: SyntheticReanalysis,
                  config: TrainerConfig = TrainerConfig(),
-                 flow: TrigFlow = TrigFlow()):
+                 flow: TrigFlow = TrigFlow(), injector=None):
         if model.config.channels != len(TOY_SET):
             raise ValueError("model channel count must match the archive")
         self.model = model
@@ -106,9 +143,18 @@ class Trainer:
         self.lr_backoff = 1.0
         self.skipped_steps = 0
         self._clean_streak = 0
+        # SDC-guard state (only exercised when config.guarded is set).
+        self.injector = injector
+        self.step_retries = 0
+        self._retained: dict | None = None
 
     # -- one optimization step ------------------------------------------------
     def train_step(self) -> float:
+        if self.config.guarded:
+            return self._guarded_step()
+        return self._step_once()
+
+    def _step_once(self, allow_retry: bool = False) -> float:
         cfg = self.config
         with _span("train.step", category="train", step=len(self.history)):
             with _span("train.data", category="train"):
@@ -131,6 +177,8 @@ class Trainer:
                 loss.backward()
             value = loss.item()
             if not np.isfinite(value):
+                if allow_retry:
+                    raise _NonFiniteLoss(value)
                 # Poisoned step: skip the update entirely (no optimizer
                 # step, no EMA blend, no images consumed) and back the LR
                 # off so a marginal-stability run eases away from the edge.
@@ -148,6 +196,146 @@ class Trainer:
         self.history.append(value)
         self._record_step_metrics(value)
         return value
+
+    # -- SDC guard ------------------------------------------------------------
+    def _guarded_step(self) -> float:
+        """One step with rollback/recompute on detected corruption.
+
+        Ordering: retain a clean micro-state (first step only — later
+        steps refresh it on success), let the injector deal any scheduled
+        state faults, then loop: CRC-audit the live state, run the step
+        under the compute-fault scope, and on detection roll back and
+        retry.  Exhausted retries escalate as
+        :class:`~repro.resilience.ComputeCorruption` for the supervisor.
+        """
+        cfg = self.config
+        inj = self.injector
+        step = len(self.history)
+        if self._retained is None:
+            self._retain()
+        if inj is not None:
+            inj.advance(step)
+            for site in inj.state_faults():
+                inj.corrupt_state(self._state_arrays(site), site)
+        last: Exception | None = None
+        for attempt in range(cfg.max_step_retries + 1):
+            retries_left = attempt < cfg.max_step_retries
+            try:
+                self._audit_state(step)
+                with inject_compute(inj):
+                    value = self._step_once(allow_retry=retries_left)
+            except (ComputeCorruption, _NonFiniteLoss) as exc:
+                self._rollback(step, attempt, exc)
+                last = exc
+                continue
+            self._retain()
+            return value
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("train.guard_escalations",
+                             "steps still corrupt after bounded retries"
+                             ).inc()
+        _record_event("train.guard_escalation", subsystem="train",
+                      severity="critical", step=step,
+                      retries=cfg.max_step_retries, detail=str(last))
+        site = last.site if isinstance(last, ComputeCorruption) else "loss"
+        raise ComputeCorruption(
+            site, f"step {step} still corrupt after "
+                  f"{cfg.max_step_retries} rollback retries ({last})")
+
+    def _state_arrays(self, site: str) -> list[np.ndarray]:
+        if site == "weight":
+            return [p.data for p in self.model.parameters()]
+        return self.optimizer.exp_avg + self.optimizer.exp_avg_sq
+
+    @staticmethod
+    def _section_crc(arrays) -> int:
+        crc = 0
+        for a in arrays:
+            crc = zlib.crc32(np.ascontiguousarray(a).tobytes(), crc)
+        return crc
+
+    def _retain(self) -> None:
+        """Snapshot the complete micro-state of a *clean* step boundary."""
+        self._retained = {
+            "params": [p.data.copy() for p in self.model.parameters()],
+            "exp_avg": [m.copy() for m in self.optimizer.exp_avg],
+            "exp_avg_sq": [v.copy() for v in self.optimizer.exp_avg_sq],
+            "step_count": self.optimizer.step_count,
+            "lr": self.optimizer.lr,
+            "ema": {k: v.copy() for k, v in self.ema.shadow.items()},
+            "images_seen": self.images_seen,
+            "lr_backoff": self.lr_backoff,
+            "skipped_steps": self.skipped_steps,
+            "clean_streak": self._clean_streak,
+            "rng": (self.rng_batch.bit_generator.state,
+                    self.rng_t.bit_generator.state,
+                    self.rng_z.bit_generator.state),
+            "crc": {"weight": self._section_crc(
+                        p.data for p in self.model.parameters()),
+                    "optimizer": self._section_crc(
+                        self.optimizer.exp_avg + self.optimizer.exp_avg_sq)},
+        }
+
+    def _audit_state(self, step: int) -> None:
+        """CRC the live weight/optimizer shards against the retained
+        clean state — catches at-rest corruption before it is trained
+        into the trajectory."""
+        for site in ("weight", "optimizer"):
+            if self._section_crc(self._state_arrays(site)) \
+                    == self._retained["crc"][site]:
+                continue
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.counter("resilience.sdc_detected",
+                                 "compute-domain corruptions caught").inc(
+                    1, kind=SDC_SITE_KINDS[site])
+            _record_event("compute.sdc_detected", subsystem="train",
+                          severity="critical", site=site, step=step)
+            with _span("resilience.sdc", category="resilience", site=site,
+                       step=step):
+                pass
+            raise ComputeCorruption(
+                site, f"state checksum mismatch in {site} section "
+                      f"at step {step}")
+
+    def _rollback(self, step: int, attempt: int, exc: Exception) -> None:
+        """Restore the retained micro-state (weights, moments, EMA,
+        counters, generator states) so the retry replays the identical
+        step from clean inputs."""
+        r = self._retained
+        for p, saved in zip(self.model.parameters(), r["params"]):
+            np.copyto(p.data, saved)
+        for m, saved in zip(self.optimizer.exp_avg, r["exp_avg"]):
+            np.copyto(m, saved)
+        for v, saved in zip(self.optimizer.exp_avg_sq, r["exp_avg_sq"]):
+            np.copyto(v, saved)
+        self.optimizer.step_count = r["step_count"]
+        self.optimizer.lr = r["lr"]
+        for k, saved in r["ema"].items():
+            np.copyto(self.ema.shadow[k], saved)
+        self.images_seen = r["images_seen"]
+        self.lr_backoff = r["lr_backoff"]
+        self.skipped_steps = r["skipped_steps"]
+        self._clean_streak = r["clean_streak"]
+        batch_state, t_state, z_state = r["rng"]
+        self.rng_batch.bit_generator.state = batch_state
+        self.rng_t.bit_generator.state = t_state
+        self.rng_z.bit_generator.state = z_state
+        cause = exc.site if isinstance(exc, ComputeCorruption) \
+            else "nonfinite"
+        self.step_retries += 1
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("train.step_retries",
+                             "steps rolled back and recomputed").inc(
+                1, cause=cause)
+        _record_event("train.step_rollback", subsystem="train",
+                      severity="warning", step=step, attempt=attempt,
+                      cause=cause, detail=str(exc))
+        with _span("resilience.rollback", category="resilience", step=step,
+                   cause=cause):
+            pass
 
     # -- NaN/Inf guard --------------------------------------------------------
     def _skip_poisoned_step(self, value: float) -> None:
@@ -231,6 +419,9 @@ class Trainer:
                     and len(self.history) % save_every == 0:
                 self.save(os.path.join(checkpoint_root,
                                        f"step-{len(self.history):08d}"))
+                if self.config.keep_checkpoints:
+                    prune_checkpoints(checkpoint_root,
+                                      keep=self.config.keep_checkpoints)
         return self.history
 
     # -- checkpoint / resume ---------------------------------------------------
@@ -244,6 +435,7 @@ class Trainer:
             "lr_backoff": self.lr_backoff,
             "skipped_steps": self.skipped_steps,
             "clean_streak": self._clean_streak,
+            "step_retries": self.step_retries,
             "rng": {
                 "batch": self.rng_batch.bit_generator.state,
                 "t": self.rng_t.bit_generator.state,
@@ -272,12 +464,37 @@ class Trainer:
         self.lr_backoff = float(extra.get("lr_backoff", 1.0))
         self.skipped_steps = int(extra.get("skipped_steps", 0))
         self._clean_streak = int(extra.get("clean_streak", 0))
+        self.step_retries = int(extra.get("step_retries", 0))
         rng = extra.get("rng")
         if rng is not None:
             self.rng_batch.bit_generator.state = rng["batch"]
             self.rng_t.bit_generator.state = rng["t"]
             self.rng_z.bit_generator.state = rng["z"]
+        self._retained = None  # re-retain from the restored state
         return images
+
+    def load_latest(self, checkpoint_root: str) -> str:
+        """Restore the newest *valid* checkpoint generation under
+        ``checkpoint_root``, scrubbing backwards past corrupted ones
+        (each rejection is booked and alerted); returns the directory
+        loaded.  Raises :class:`~repro.train.CheckpointError` when no
+        generation survives."""
+        for directory in reversed(list_checkpoints(checkpoint_root)):
+            try:
+                self.load(directory)
+            except CheckpointCorruption as exc:
+                registry = _obs_metrics()
+                if registry is not None:
+                    registry.counter(
+                        "train.checkpoints_rejected",
+                        "corrupted generations skipped on resume").inc()
+                _record_event("checkpoint.corrupt", subsystem="train",
+                              severity="critical", path=directory,
+                              detail=str(exc))
+                continue
+            return directory
+        raise CheckpointError(
+            f"no valid checkpoint generation under {checkpoint_root}")
 
     def validation_loss(self, n_batches: int = 4, seed: int = 1234) -> float:
         """Mean weighted diffusion loss over held-out validation samples.

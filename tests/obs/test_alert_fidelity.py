@@ -26,7 +26,12 @@ MICRO = AerisConfig(name="micro", height=16, width=32, channels=9,
 TOPO = RankTopology(dp=2, pp=MICRO.pp_stages, wp_grid=(1, 1), sp=1)
 DEAD_RANK = TOPO.rank_of(1, 1, 0, 0)
 
-#: One scheduled fault from every class in the alert mapping.
+#: One scheduled fault from every comm/rank class in the alert mapping.
+#: The compute-domain classes (``sdc_*``) are out of the supervisor's
+#: reach — their fidelity is reconciled by ``TraceReport.sdc_check`` in
+#: tests/resilience/test_sdc.py and tests/serve/test_guardrails.py; here
+#: they must simply stay quiet (health_check enforces that direction).
+SUPERVISOR_FAULTS = ("flip", "drop", "straggler", "failstop")
 CHAOS_PLAN = FaultPlan(
     events=(BitFlip(step=1, primitive="allreduce", nth=0),
             Drop(step=2, primitive="p2p", nth=1),
@@ -63,16 +68,16 @@ class TestAlertFidelity:
     def test_chaos_run_covers_every_fault_class(self, tmp_path,
                                                 tiny_archive):
         sup, m, result = _run(tmp_path, tiny_archive, CHAOS_PLAN, "chaos")
-        # Every class in the mapping was actually dealt by the injector
-        # (otherwise the coverage direction would be vacuous).
-        for fault in FAULT_ALERT_KINDS:
+        # Every supervisor-reachable class was actually dealt by the
+        # injector (otherwise the coverage direction would be vacuous).
+        for fault in SUPERVISOR_FAULTS:
             assert sup.injector.injected[fault] > 0, fault
         assert result["agrees"], result["per_fault"]
         for fault, row in result["per_fault"].items():
-            assert row["alerted"], fault
+            assert row["alerted"] == (fault in SUPERVISOR_FAULTS), fault
         # The alerts also landed in the flight recorder for post-mortems.
         assert len(m.recorder.events(kind="alert")) >= len(
-            FAULT_ALERT_KINDS)
+            SUPERVISOR_FAULTS)
         # Rank death is page-worthy: critical, not a warning.
         critical = m.monitor.alerts.select("resilience.rank_failure")
         assert critical and critical[0].severity == "critical"

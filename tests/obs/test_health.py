@@ -107,11 +107,30 @@ class TestPullDetectors:
         mon = _monitor()
         counts = mon.check_faults(reg)
         assert counts == {"flip": 2, "drop": 0, "straggler": 1,
-                          "failstop": 1}
+                          "failstop": 1, "sdc_gemm": 0, "sdc_weight": 0,
+                          "sdc_opt": 0, "sdc_forecast": 0}
         assert mon.alerts.kinds() == {"comm.bitflip", "comm.straggler",
                                       "resilience.rank_failure"}
         assert mon.alerts.select("resilience.rank_failure")[0].severity \
             == "critical"
+
+    def test_check_faults_maps_sdc_meters_to_alert_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("resilience.sdc_detected").inc(1, kind="sdc_gemm")
+        reg.counter("resilience.sdc_detected").inc(2, kind="sdc_weight")
+        reg.counter("resilience.sdc_detected").inc(1, kind="sdc_opt")
+        reg.counter("serve.forecasts_quarantined").inc(1, tier="fast")
+        mon = _monitor()
+        counts = mon.check_faults(reg)
+        assert counts == {"flip": 0, "drop": 0, "straggler": 0,
+                          "failstop": 0, "sdc_gemm": 1, "sdc_weight": 2,
+                          "sdc_opt": 1, "sdc_forecast": 1}
+        assert mon.alerts.kinds() == {"compute.gemm_sdc", "state.weight_sdc",
+                                      "state.optimizer_sdc",
+                                      "serve.forecast_sdc"}
+        # Silent data corruption is always page-worthy.
+        for kind in mon.alerts.kinds():
+            assert mon.alerts.select(kind)[0].severity == "critical"
 
     def test_check_faults_clean_registry_fires_nothing(self):
         mon = _monitor()

@@ -8,6 +8,7 @@ from repro.obs import observed
 from repro.parallel import SimCluster
 from repro.resilience import (
     BitFlip,
+    RetryBudget,
     CommTimeout,
     Drop,
     FailStop,
@@ -181,3 +182,63 @@ class TestSelfHealingTransfers:
         faulty.send(0, 1, payload)
         assert plain.stats.bytes == faulty.stats.bytes
         assert plain.stats.ops == faulty.stats.ops
+
+
+class TestJitterAndBudget:
+    def test_full_jitter_draws_inside_the_envelope(self):
+        policy = RetryPolicy(max_retries=5, base_backoff_s=0.01,
+                             backoff_factor=2.0, jitter=1.0)
+        rng = np.random.default_rng(0)
+        for attempt in range(1, 6):
+            cap = policy.base_backoff_s * 2.0 ** (attempt - 1)
+            draws = [policy.backoff_s(attempt, rng=rng)
+                     for _ in range(200)]
+            assert all(0.0 <= d <= cap for d in draws)
+            assert len(set(draws)) > 1  # actually jittered, not the cap
+
+    def test_partial_jitter_keeps_a_floor(self):
+        policy = RetryPolicy(base_backoff_s=0.01, jitter=0.25)
+        rng = np.random.default_rng(1)
+        draws = [policy.backoff_s(1, rng=rng) for _ in range(200)]
+        assert all(0.0075 <= d <= 0.01 for d in draws)
+
+    def test_jitter_without_rng_is_the_deterministic_cap(self):
+        policy = RetryPolicy(base_backoff_s=0.01, jitter=1.0)
+        assert policy.backoff_s(1) == 0.01
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_budget_charges_until_exhausted(self):
+        budget = RetryPolicy(max_retry_s=0.1,
+                             max_retry_bytes=100).budget()
+        assert budget.charge(seconds=0.05, nbytes=40)
+        assert not budget.exhausted
+        assert not budget.charge(seconds=0.2)  # over the time cap
+        assert budget.exhausted
+
+    def test_budget_byte_cap(self):
+        budget = RetryBudget(max_retry_bytes=10)
+        assert budget.charge(nbytes=10)  # at the cap is still fine
+        assert not budget.charge(nbytes=1)
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = RetryPolicy().budget()
+        assert budget.charge(seconds=1e9, nbytes=1 << 40)
+
+    def test_transfer_escalates_on_spent_budget(self):
+        """A sick link must stop grinding through max_retries once the
+        per-operation budget is gone — and the escalation is booked."""
+        inj = FaultInjector(FaultPlan(seed=0, p_drop=1.0))
+        cluster = SimCluster(2, injector=inj,
+                             retry=RetryPolicy(max_retries=50,
+                                               base_backoff_s=0.01,
+                                               max_retry_s=0.05))
+        with observed() as (_, registry):
+            with pytest.raises(CommTimeout, match="budget exhausted"):
+                cluster.send(0, 1, np.ones(4, dtype=np.float32))
+            assert registry.counter("comm.budget_exhaustions").total(
+                primitive="p2p") == 1
+            # Far fewer than 50 retries were attempted.
+            assert registry.counter("comm.retries").total() < 20

@@ -1,0 +1,183 @@
+"""Guarded training under compute-domain chaos: every injected SDC
+(GEMM flip, weight flip, optimizer flip) is detected, healed bit-exactly
+by rollback/recompute, reconciled by ``TraceReport.sdc_check``, and
+escalated when bounded retries run out.
+
+Seeded like the comm-chaos suite: ``SDC_SEED`` (CI runs a small matrix
+of seeds) varies the injector's bit-position draws without changing the
+schedule, so detection must hold for *any* flipped bit the plan deals.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.kernels import abft_guard
+from repro.model import Aeris
+from repro.obs import TraceReport
+from repro.resilience import (
+    ComputeCorruption,
+    ComputeFault,
+    FaultInjector,
+    FaultPlan,
+    inject_compute,
+)
+from repro.train import Trainer, TrainerConfig
+from tests.train.test_trainer import TINY16
+
+SDC_SEED = int(os.environ.get("SDC_SEED", "0"))
+
+GUARDED = TrainerConfig(batch_size=4, peak_lr=3e-3, warmup_images=40,
+                        total_images=40_000, decay_images=400, seed=0,
+                        guarded=True, max_step_retries=2)
+PLAIN = dataclasses.replace(GUARDED, guarded=False)
+
+#: One scheduled fault per compute-domain site (gemm nth=1 exercises a
+#: mid-step kernel, not just the first guarded call).
+CHAOS_EVENTS = (ComputeFault(step=1, site="gemm", nth=1),
+                ComputeFault(step=2, site="weight"),
+                ComputeFault(step=3, site="optimizer"))
+
+
+def _trainer(tiny_archive, config=GUARDED, events=None, p_compute=0.0,
+             seed=0):
+    injector = None
+    if events is not None or p_compute:
+        injector = FaultInjector(FaultPlan(events=tuple(events or ()),
+                                           seed=SDC_SEED,
+                                           p_compute=p_compute))
+    return Trainer(Aeris(TINY16, seed=seed), tiny_archive, config,
+                   injector=injector)
+
+
+@pytest.fixture
+def obs_on():
+    obs.enable()
+    obs.enable_health()
+    yield obs
+    obs.disable()
+
+
+class TestGuardedRecovery:
+    def test_chaos_run_heals_bit_exact(self, tiny_archive):
+        """Five steps through one fault of every site must end in exactly
+        the state of an undefended fault-free run — same losses, same
+        weights, same EMA: recovery, not mitigation."""
+        clean = _trainer(tiny_archive, config=PLAIN)
+        clean.fit(5)
+
+        chaos = _trainer(tiny_archive, events=CHAOS_EVENTS)
+        with abft_guard():
+            chaos.fit(5)
+
+        assert dict(chaos.injector.injected) == {
+            "sdc_gemm": 1, "sdc_weight": 1, "sdc_opt": 1}
+        assert chaos.step_retries == 3  # one rollback per injected fault
+        assert chaos.history == clean.history
+        for name, p in clean.model.named_parameters():
+            np.testing.assert_array_equal(
+                dict(chaos.model.named_parameters())[name].data, p.data,
+                err_msg=name)
+        for name in clean.ema.shadow:
+            np.testing.assert_array_equal(chaos.ema.shadow[name],
+                                          clean.ema.shadow[name],
+                                          err_msg=f"ema/{name}")
+
+    def test_fault_free_guarded_run_bit_exact_vs_undefended(self,
+                                                            tiny_archive):
+        """Arming the whole defense stack on a clean run must not perturb
+        training numerics by one bit."""
+        plain = _trainer(tiny_archive, config=PLAIN)
+        plain.fit(4)
+        guarded = _trainer(tiny_archive)
+        with abft_guard():
+            guarded.fit(4)
+        assert guarded.step_retries == 0
+        assert guarded.history == plain.history
+        for name, p in plain.model.named_parameters():
+            np.testing.assert_array_equal(
+                dict(guarded.model.named_parameters())[name].data, p.data,
+                err_msg=name)
+
+    def test_undefended_run_trains_in_the_corruption(self, tiny_archive):
+        """The negative control: without the guard, the same injected GEMM
+        flip silently lands in the loss — which is why the defense has to
+        exist."""
+        clean = _trainer(tiny_archive, config=PLAIN)
+        clean.fit(1)
+        undefended = _trainer(tiny_archive, config=PLAIN)
+        injector = FaultInjector(FaultPlan(
+            seed=SDC_SEED,
+            events=(ComputeFault(step=0, site="gemm", nth=1),)))
+        with inject_compute(injector):
+            undefended.fit(1)
+        assert dict(injector.injected) == {"sdc_gemm": 1}
+        assert undefended.step_retries == 0
+        # The flip propagates through backward into the Adam moments (the
+        # first step runs at warmup lr=0, so weights move only later):
+        # the optimizer state silently diverges from the clean trajectory.
+        assert any(
+            not np.array_equal(m_u, m_c)
+            for m_u, m_c in zip(
+                undefended.optimizer.exp_avg + undefended.optimizer.exp_avg_sq,
+                clean.optimizer.exp_avg + clean.optimizer.exp_avg_sq))
+
+    def test_exhausted_retries_escalate(self, tiny_archive, obs_on):
+        """A *persistent* corruption source (p_compute=1: every guarded
+        GEMM flips, retries included) must escalate as typed
+        ComputeCorruption after max_step_retries rollbacks."""
+        trainer = _trainer(tiny_archive, p_compute=1.0)
+        with abft_guard(), pytest.raises(ComputeCorruption,
+                                         match="still corrupt"):
+            trainer.fit(1)
+        # Every attempt (initial + retries) detects and rolls back before
+        # the escalation re-raises — no corrupt state is left behind.
+        assert trainer.step_retries == GUARDED.max_step_retries + 1
+        registry = obs.metrics()
+        assert registry.counter("train.guard_escalations").total() == 1
+        assert obs.flight().events(kind="train.guard_escalation",
+                                   min_severity="critical")
+
+
+class TestSdcReconciliation:
+    def test_sdc_check_closes_the_loop(self, tiny_archive, obs_on):
+        trainer = _trainer(tiny_archive, events=CHAOS_EVENTS)
+        with abft_guard():
+            trainer.fit(5)
+        registry = obs.metrics()
+        for cause in ("gemm", "weight", "optimizer"):
+            assert registry.counter(
+                "train.step_retries").total(cause=cause) == 1
+        result = TraceReport().sdc_check(trainer.injector)
+        assert result["agrees"], result
+        assert result["recovery_closed"]
+        for kind in ("sdc_gemm", "sdc_weight", "sdc_opt"):
+            row = result["per_kind"][kind]
+            assert row == {"injected": 1, "detected": 1, "match": True}
+        assert result["per_kind"]["sdc_forecast"]["injected"] == 0
+        assert result["recovered"]["escalations"] == 0
+
+    def test_sdc_check_flags_undetected_injection(self, tiny_archive,
+                                                  obs_on):
+        """An injected flip that no defense layer observed (ABFT left
+        disarmed) must fail reconciliation — the check's whole point."""
+        trainer = _trainer(
+            tiny_archive,
+            events=(ComputeFault(step=0, site="gemm", nth=1),))
+        trainer.fit(1)  # guard disarmed: the flip lands silently
+        result = TraceReport().sdc_check(trainer.injector)
+        assert not result["per_kind"]["sdc_gemm"]["match"]
+        assert not result["agrees"]
+
+    def test_render_includes_sdc_line(self, tiny_archive, obs_on):
+        trainer = _trainer(tiny_archive, events=CHAOS_EVENTS)
+        with abft_guard():
+            trainer.fit(5)
+        report = TraceReport()
+        report.sdc_check(trainer.injector)
+        text = report.render()
+        assert "sdc faults" in text and "recovery closed" in text
+        assert "OK" in text and "MISMATCH" not in text

@@ -204,3 +204,33 @@ class TestTopologyDegrade:
     def test_no_dead_is_identity(self):
         topo = RankTopology(dp=2, pp=2, wp_grid=(1, 1), sp=1)
         assert topo.degrade([]) is topo
+
+
+class TestDegradeFitsSurvivors:
+    """Regression: a single shed degree can still demand more ranks than
+    survive the fail-stops — the re-grid must keep shedding until the
+    shrunken grid fits onto the *alive* rank count, never re-gridding
+    onto dead ranks."""
+
+    def test_one_shed_is_not_enough(self):
+        # 8 ranks, 4 dead: sp 4->3 would still need 6 ranks (> 4 alive).
+        topo = RankTopology(dp=1, pp=2, wp_grid=(1, 1), sp=4)
+        degraded = topo.degrade([0, 2, 4, 6])
+        assert degraded.world_size <= 4
+        assert degraded.sp == 2
+        assert (degraded.dp, degraded.pp) == (1, 2)
+
+    def test_sheds_across_degrees_keeping_pp(self):
+        # 16 ranks, 14 dead: must shed sp and the whole WP grid down to
+        # the PP-only spine (pipeline depth can never shrink).
+        topo = RankTopology(dp=1, pp=2, wp_grid=(2, 2), sp=2)
+        degraded = topo.degrade(list(range(14)))
+        assert degraded.world_size <= 2
+        assert degraded.pp == 2
+        assert (degraded.wp_grid, degraded.sp) == ((1, 1), 1)
+
+    def test_unsatisfiable_survivor_count_raises(self):
+        # Even the fully-shed grid needs pp=4 ranks; only 2 survive.
+        topo = RankTopology(dp=1, pp=4, wp_grid=(2, 1), sp=1)
+        with pytest.raises(ClusterFailure):
+            topo.degrade(list(range(6)))

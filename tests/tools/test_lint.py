@@ -40,6 +40,12 @@ def tree(tmp_path):
         "        return 1\n"
         "    except:\n"
         "        return 0\n")
+    (pkg / "sub" / "eater.py").write_text(
+        "def i():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except ValueError:\n"
+        "        pass\n")
     (pkg / "exempt" / "printer.py").write_text("print('allowed here')\n")
     (pkg / "notes.txt").write_text("print( except: — not python\n")
     return pkg
@@ -87,10 +93,39 @@ class TestCheckBareExcept:
 
     def test_clean_tree_passes(self, tree):
         (tree / "sub" / "swallow.py").unlink()
+        (tree / "sub" / "eater.py").unlink()
         assert check_bare_except.main([str(tree)]) == 0
 
     def test_repo_src_is_clean(self):
         assert check_bare_except.main(None) == 0
+
+    def test_except_pass_flagged(self, tree, capsys):
+        """A typed handler whose whole body is ``pass`` destroys the
+        fault's evidence — flagged even though the except is not bare."""
+        assert check_bare_except.main([str(tree)]) == 1
+        err = capsys.readouterr().err
+        assert "eater.py:4" in err and "except ...: pass" in err
+
+    def test_handlers_that_handle_are_fine(self, tree, tmp_path):
+        """pass inside a *larger* handler body (evidence kept) and
+        handlers that log/return are not flagged."""
+        good = tree / "sub" / "good.py"
+        good.write_text(
+            "import sys\n"
+            "def j():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError as exc:\n"
+            "        sys.stderr.write(repr(exc))\n"
+            "        pass\n")
+        assert check_bare_except.swallowing_excepts(str(good)) == []
+        bad = tree / "sub" / "eater.py"
+        assert check_bare_except.swallowing_excepts(str(bad)) == [4]
+
+    def test_unparseable_file_is_skipped(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n")
+        assert check_bare_except.swallowing_excepts(str(broken)) == []
 
 
 class TestLintEntrypoint:
@@ -103,6 +138,7 @@ class TestLintEntrypoint:
         # arbitrary tree the lint entrypoint checks every file.
         (tree / "sub" / "printer.py").unlink()
         (tree / "sub" / "swallow.py").unlink()
+        (tree / "sub" / "eater.py").unlink()
         (tree / "exempt" / "printer.py").unlink()
         assert lint.main([str(tree)]) == 0
 

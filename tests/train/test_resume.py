@@ -123,3 +123,67 @@ class TestNaNGuard:
         trainer.lr_backoff = 0.5
         trainer.fit(3)
         assert trainer.lr_backoff == 1.0
+
+
+class TestCorruptionFallbackResume:
+    """Satellite of the SDC defense: at-rest checkpoint rot must not end
+    a run while an older intact generation is retained."""
+
+    def _rot(self, directory):
+        shard = sorted(f for f in os.listdir(directory)
+                       if f.endswith(".npz"))[0]
+        path = os.path.join(directory, shard)
+        with open(path, "rb") as fh:
+            raw = bytearray(fh.read())
+        raw[len(raw) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(raw))
+
+    def test_load_latest_falls_back_bit_exact(self, tmp_path,
+                                              tiny_archive):
+        """Rot the newest generation: load_latest must resume from the
+        older one and replay to exactly the uninterrupted trajectory."""
+        from repro.obs import observed
+
+        straight = _trainer(tiny_archive)
+        straight.fit(4)
+
+        saver = _trainer(tiny_archive)
+        saver.fit(4, save_every=2, checkpoint_root=str(tmp_path))
+        newest = os.path.join(tmp_path, sorted(os.listdir(tmp_path))[-1])
+        self._rot(newest)
+
+        resumed = _trainer(tiny_archive, seed=99)  # different init
+        with observed() as (_, registry):
+            loaded = resumed.load_latest(str(tmp_path))
+            assert registry.counter(
+                "train.checkpoints_rejected").total() == 1
+        assert loaded.endswith("step-00000002")
+        assert resumed.images_seen == 2 * CFG.batch_size
+        resumed.fit(2)
+
+        assert resumed.history == straight.history
+        for name, p in straight.model.named_parameters():
+            np.testing.assert_array_equal(
+                dict(resumed.model.named_parameters())[name].data, p.data,
+                err_msg=name)
+
+    def test_every_generation_rotten_is_a_clear_error(self, tmp_path,
+                                                      tiny_archive):
+        saver = _trainer(tiny_archive)
+        saver.fit(2, save_every=1, checkpoint_root=str(tmp_path))
+        for name in os.listdir(tmp_path):
+            self._rot(os.path.join(tmp_path, name))
+        fresh = _trainer(tiny_archive)
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            fresh.load_latest(str(tmp_path))
+
+    def test_retention_bounds_generations_during_fit(self, tmp_path,
+                                                     tiny_archive):
+        import dataclasses
+
+        cfg = dataclasses.replace(CFG, keep_checkpoints=2)
+        trainer = Trainer(Aeris(TINY16, seed=0), tiny_archive, cfg)
+        trainer.fit(5, save_every=1, checkpoint_root=str(tmp_path))
+        assert sorted(os.listdir(tmp_path)) == ["step-00000004",
+                                                "step-00000005"]

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Lint: no bare ``except:`` clauses in ``src/repro/``.
+"""Lint: no bare ``except:`` and no ``except ...: pass`` in ``src/repro/``.
 
 A bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and —
 worse for a resilience layer — silently eats the *typed* fault
@@ -8,12 +8,21 @@ the supervisor's recovery logic dispatches on.  Catch a concrete
 exception type, or ``BaseException`` with a re-raise where cleanup code
 genuinely must intercept everything.
 
-Token-based, so strings and comments mentioning ``except:`` are fine.
-Exits non-zero listing offending ``file:line`` locations.
+An ``except SomeError: pass`` handler is the silent-data-corruption
+cousin: the exception is typed but its *evidence is destroyed* — nothing
+is booked, retried, or escalated, which is exactly how a detected fault
+becomes a silent one.  Handle it (log, count, recover) or let it
+propagate.
+
+Bare-``except`` detection is token-based, so strings and comments
+mentioning ``except:`` are fine; ``except: pass`` detection is AST-based
+(a handler whose entire body is a single ``pass``).  Exits non-zero
+listing offending ``file:line`` locations.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import os
 import sys
@@ -37,6 +46,21 @@ def bare_excepts(path: str) -> list[int]:
     return lines
 
 
+def swallowing_excepts(path: str) -> list[int]:
+    """Line numbers of ``except ...: pass`` handlers (body is exactly one
+    ``pass`` statement) in one file."""
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # unparseable files are some other tool's problem
+    return sorted(
+        node.lineno for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler)
+        and len(node.body) == 1 and isinstance(node.body[0], ast.Pass))
+
+
 def main(argv: list[str] | None = None) -> int:
     roots = resolve_roots(argv, program="check_bare_except")
     if roots is None:
@@ -46,6 +70,9 @@ def main(argv: list[str] | None = None) -> int:
         for line in bare_excepts(path):
             violations.append(f"{relpath(path)}:{line}: bare except: "
                               "(catch a concrete exception type)")
+        for line in swallowing_excepts(path):
+            violations.append(f"{relpath(path)}:{line}: except ...: pass "
+                              "(handle the exception or let it propagate)")
     if violations:
         sys.stderr.write("\n".join(violations) + "\n")
         return 1
