@@ -170,6 +170,17 @@ def run_sdc_bench(out_dir: str, smoke: bool) -> int:
     return subprocess.run(cmd, cwd=bench_dir).returncode
 
 
+def run_deploy_bench(out_dir: str, smoke: bool) -> int:
+    """Run the rolling-swap serving bench (own process: it drives the
+    serving event loop's virtual clock and global obs-free services)."""
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    cmd = [sys.executable, os.path.join(bench_dir, "bench_deploy.py"),
+           "--out", os.path.abspath(out_dir)]
+    if smoke:
+        cmd.append("--smoke")
+    return subprocess.run(cmd, cwd=bench_dir).returncode
+
+
 def run_figure_benches(out_dir: str, names: list[str]) -> int:
     """Run the analytical figure benches under pytest; their
     ``write_result`` sidecars are redirected to ``out_dir``."""
@@ -222,6 +233,12 @@ def main(argv: list[str] | None = None) -> int:
     rc_sdc = run_sdc_bench(out_dir, smoke=args.smoke)
     if rc_sdc != 0:
         print(f"abft sdc bench FAILED (exit {rc_sdc})", file=sys.stderr)
+
+    print("rolling-swap deploy bench:")
+    rc_deploy = run_deploy_bench(out_dir, smoke=args.smoke)
+    if rc_deploy != 0:
+        print(f"deploy bench FAILED (exit {rc_deploy})", file=sys.stderr)
+    rc_sdc = rc_sdc or rc_deploy
 
     if args.skip_figures:
         return rc_obs or rc_sdc

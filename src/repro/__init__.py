@@ -26,7 +26,11 @@ A from-scratch, pure-NumPy reproduction of the complete AERIS system:
   collectives (checksum + retry), and elastic checkpoint/recovery;
 * :mod:`repro.serve` — forecast serving: dynamic micro-batching,
   content-addressed forecast cache, tiered samplers (consistency
-  student / DPM-Solver), replica worker pool under fault injection;
+  student / DPM-Solver), replica worker pool under fault injection,
+  multi-version bindings with canary deployment;
+* :mod:`repro.registry` — content-addressed model lifecycle registry:
+  weights/config/normalizer blobs under SHA-256 digests, lineage,
+  eval scorecards, and a skill gate feeding the canary controller;
 * :mod:`repro.train` / :mod:`repro.baselines` / :mod:`repro.eval` —
   training, comparison systems, and verification metrics.
 
@@ -39,7 +43,7 @@ Quickstart::
 """
 
 from . import baselines, data, diffusion, eval, kernels, model, nn, obs
-from . import parallel, perf, resilience, serve, tensor, train
+from . import parallel, perf, registry, resilience, serve, tensor, train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -49,7 +53,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "tensor", "nn", "kernels", "model", "diffusion", "data", "parallel", "perf",
-    "train", "baselines", "eval", "obs", "resilience", "serve",
+    "train", "baselines", "eval", "obs", "resilience", "serve", "registry",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
     "SyntheticReanalysis", "ReanalysisConfig",

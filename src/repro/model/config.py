@@ -27,10 +27,11 @@ those consistent values.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 __all__ = ["AerisConfig", "ParallelLayout", "TABLE_II", "TINY", "SMALL",
-           "count_parameters"]
+           "count_parameters", "config_to_dict", "config_from_dict"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,32 @@ class AerisConfig:
     def pp_stages(self) -> int:
         """PP = L + 2: I/O + embedding isolated in first/last stages."""
         return self.swin_layers + 2
+
+
+def config_to_dict(config: AerisConfig) -> dict:
+    """JSON-safe dict for manifests / the model registry.
+
+    Tuples become lists (JSON has no tuples); :func:`config_from_dict`
+    restores them, so the pair round-trips exactly.
+    """
+    d = dataclasses.asdict(config)
+    d["window"] = list(config.window)
+    if config.layout is not None:
+        d["layout"]["wp_grid"] = list(config.layout.wp_grid)
+    return d
+
+
+def config_from_dict(d: dict) -> AerisConfig:
+    """Inverse of :func:`config_to_dict` (re-runs ``__post_init__``
+    validation, so a manifest edited into inconsistency is rejected)."""
+    d = dict(d)
+    d["window"] = tuple(d["window"])
+    layout = d.get("layout")
+    if layout is not None:
+        layout = dict(layout)
+        layout["wp_grid"] = tuple(layout["wp_grid"])
+        d["layout"] = ParallelLayout(**layout)
+    return AerisConfig(**d)
 
 
 def count_parameters(config: AerisConfig) -> int:

@@ -103,6 +103,9 @@ class HealthConfig:
     # plan caches
     plan_cache_min_lookups: int = 64
     plan_cache_min_hit_rate: float = 0.5
+    # forecast cache (serving tier)
+    forecast_cache_min_lookups: int = 64
+    forecast_cache_min_hit_rate: float = 0.3
     # serve queues
     queue_saturation_frac: float = 0.9
     # SLO burn rate (multi-window)
@@ -337,6 +340,35 @@ class HealthMonitor:
                     data={"hit_rate": rate, "lookups": lookups})
         return rates
 
+    # -- pull: forecast cache ----------------------------------------------
+    def check_forecast_cache(self, registry) -> dict | None:
+        """Hit-rate collapse on the serving forecast cache.
+
+        The cache is content-addressed by weights digest, so a model
+        version swap silently invalidates every incumbent entry — a
+        rollout that shifts traffic to a cold version shows up here as a
+        hit-rate collapse (recompute storm) before it shows up as SLO
+        burn.  Reads the ``serve.cache`` lookup counter, so it works as
+        a pull detector with no handle on the service itself.
+        """
+        cfg = self.config
+        counter = registry.counter("serve.cache")
+        hits = counter.total(event="hit")
+        misses = counter.total(event="miss")
+        lookups = hits + misses
+        if lookups < cfg.forecast_cache_min_lookups:
+            return None
+        rate = hits / lookups
+        occupancy = registry.gauge("serve.cache_occupancy_frac").value()
+        result = {"hit_rate": rate, "lookups": int(lookups),
+                  "occupancy_frac": occupancy}
+        if rate < cfg.forecast_cache_min_hit_rate:
+            self.alerts.fire(
+                "serve.cache_collapse", "warning", "serve",
+                f"forecast cache hit rate {rate:.2f} over {int(lookups)} "
+                f"lookups (occupancy {occupancy:.2f})", data=result)
+        return result
+
     # -- pull: everything registry-driven ----------------------------------
     def check(self, registry=None, tracer=None) -> "HealthMonitor":
         """Run every pull detector that has data available."""
@@ -345,6 +377,7 @@ class HealthMonitor:
         tracer = tracer if tracer is not None else get_tracer()
         if registry is not None:
             self.check_faults(registry)
+            self.check_forecast_cache(registry)
         self.check_plan_caches()
         if tracer is not None:
             self.check_rank_balance(tracer)

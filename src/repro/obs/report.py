@@ -282,6 +282,115 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    # -- deployment accounting -----------------------------------------------
+    def deploy_check(self, service, controller) -> dict:
+        """A rolling version swap must lose nothing and land somewhere
+        definite.
+
+        Three families of identities over a canary rollout driven by a
+        :class:`~repro.serve.DeploymentController`:
+
+        * **per-version request conservation** — for every version that
+          appeared in the lifecycle counters, ``accepted + reassigned_in
+          - reassigned_out = completed + timeout + failed``.  A request
+          admitted under the candidate and answered under the incumbent
+          after a rollback is *moved*, not lost; a request answered twice
+          breaks the identity from the other side.  Summed over versions
+          this must also equal the service tally, so no response escaped
+          version accounting.
+        * **controller ledger vs metrics** — the controller's transition
+          list and shadow count must match the ``deploy.transitions`` /
+          ``deploy.shadows`` counters exactly (the hook path booked every
+          decision it made).
+        * **terminal digest** — after a rollback the active binding's
+          weights digest equals the incumbent digest recorded at
+          controller construction (restored *exactly*, not approximately)
+          and the candidate is unloaded; after a promotion it equals the
+          candidate digest.  When a registry is attached, its notion of
+          the live/rolled-back version must agree.
+        """
+        if self.registry is None:
+            raise ValueError("no metrics registry active")
+        counter = self.registry.counter("serve.requests")
+        moved = self.registry.counter("serve.requests_reassigned")
+        versions = sorted({dict(key)["version"]
+                           for key in counter.series
+                           if "version" in dict(key)})
+        agrees = True
+        per_version = {}
+        sums = {"accepted": 0.0, "answered": 0.0}
+        for v in versions:
+            accepted = counter.total(event="accepted", version=v)
+            answered = {e: counter.total(event=e, version=v)
+                        for e in ("completed", "timeout", "failed")}
+            moved_in = moved.total(dst=v)
+            moved_out = moved.total(src=v)
+            conserved = (accepted + moved_in - moved_out
+                         == sum(answered.values()))
+            agrees = agrees and conserved
+            sums["accepted"] += accepted
+            sums["answered"] += sum(answered.values())
+            per_version[v] = {"accepted": accepted, **answered,
+                              "reassigned_in": moved_in,
+                              "reassigned_out": moved_out,
+                              "conserved": conserved}
+        tally = dict(service.tally)
+        covered = (sums["accepted"] == tally["accepted"]
+                   and sums["answered"] == tally["completed"]
+                   + tally["timeout"] + tally["failed"])
+        agrees = agrees and covered
+
+        transitions = self.registry.counter("deploy.transitions")
+        by_kind: dict[str, int] = {}
+        for t in controller.transitions:
+            by_kind[t["kind"]] = by_kind.get(t["kind"], 0) + 1
+        ledger = {
+            "transitions_match":
+                transitions.total() == len(controller.transitions)
+                and all(transitions.total(kind=k) == n
+                        for k, n in by_kind.items()),
+            "shadows_match":
+                self.registry.counter("deploy.shadows").total()
+                == controller.counts["shadows"],
+            "reassigned_match":
+                moved.total() == controller.counts["reassigned"],
+        }
+        agrees = agrees and all(ledger.values())
+
+        active = service.bindings[service.active_version]
+        terminal = {"state": controller.state,
+                    "active_version": service.active_version,
+                    "active_digest": active.weights_digest[:12]}
+        if controller.state == "rolled_back":
+            terminal["incumbent_restored"] = (
+                service.active_version == controller.incumbent
+                and active.weights_digest == controller.incumbent_digest)
+            terminal["candidate_unloaded"] = \
+                controller.candidate not in service.bindings
+            agrees = agrees and terminal["incumbent_restored"] \
+                and terminal["candidate_unloaded"]
+            if controller.registry is not None:
+                terminal["registry_agrees"] = (
+                    controller.registry.get(controller.candidate).status
+                    == "rolled_back"
+                    and controller.registry.live() != controller.candidate)
+                agrees = agrees and terminal["registry_agrees"]
+        elif controller.state == "promoted":
+            terminal["candidate_live"] = (
+                service.active_version == controller.candidate
+                and active.weights_digest == controller.candidate_digest)
+            agrees = agrees and terminal["candidate_live"]
+            if controller.registry is not None:
+                terminal["registry_agrees"] = (
+                    controller.registry.live() == controller.candidate)
+                agrees = agrees and terminal["registry_agrees"]
+        result = {"check": "deploy", "per_version": per_version,
+                  "tally_covered": covered, "ledger": ledger,
+                  "terminal": terminal,
+                  "counts": dict(controller.counts), "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- alert fidelity ------------------------------------------------------
     def health_check(self, monitor, injector=None) -> dict:
         """Fired alerts must reconcile against injected fault classes.
@@ -375,6 +484,17 @@ class TraceReport:
                     f"{c['cache']['hit_rate']:.2f} | "
                     f"{c['serve_spans']} spans | "
                     f"{'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "deploy":
+                parts = [
+                    f"{v} {int(r['accepted']):d}acc"
+                    f"{'' if r['conserved'] else '!'}"
+                    for v, r in c["per_version"].items()]
+                t = c["terminal"]
+                lines.append(
+                    f"  deploy ({t['state']}): {', '.join(parts)} | "
+                    f"active {t['active_version']}@{t['active_digest']} | "
+                    f"ledger {'OK' if all(c['ledger'].values()) else 'BAD'}"
+                    f" | {'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "health_alerts":
                 parts = [
                     f"{fault} {r['injected']}/"

@@ -1,0 +1,151 @@
+"""Skill-gated promotion: candidate vs incumbent, within tolerance.
+
+The gate is the registry's first line of defense: a candidate version
+only becomes ``servable`` if its scorecard is *no worse than the
+incumbent's* on the gated metrics within a relative tolerance.  Both
+CRPS and RMSE are lower-is-better; the spread/skill ratio (distance of
+SSR from 1) can be added for calibration-sensitive deployments.  A
+candidate with no incumbent to beat (first registration) passes by
+definition — there is nothing live to degrade.
+
+Gating is *offline* evidence; the canary controller
+(:mod:`repro.serve.deploy`) is the online check.  A candidate must clear
+both: the gate catches regressions measurable on the held-out window,
+the canary catches what only shows up under live traffic (deployment
+skew, corrupted weight loads, guardrail violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs.profile import metrics as _obs_metrics, record_event
+from .store import ModelRegistry, RegistryError
+
+__all__ = ["GateConfig", "GateDecision", "evaluate_gate", "gate_version"]
+
+#: Metrics where smaller is better (skill scores).
+_LOWER_IS_BETTER = ("rmse", "crps")
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Which scorecard aggregates to gate on, and how much slack."""
+
+    metrics: tuple = ("crps", "rmse")
+    #: Candidate may exceed the incumbent by at most this fraction.
+    rel_tolerance: float = 0.02
+    #: Also bound the spread/skill ratio's distance from 1.
+    check_ssr: bool = False
+    ssr_tolerance: float = 0.25
+
+
+@dataclass
+class GateDecision:
+    """Outcome of one candidate-vs-incumbent comparison."""
+
+    passed: bool
+    candidate: str
+    incumbent: str | None
+    comparisons: list = field(default_factory=list)
+    reasons: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"passed": self.passed, "candidate": self.candidate,
+                "incumbent": self.incumbent,
+                "comparisons": self.comparisons, "reasons": self.reasons}
+
+
+def _aggregate(scorecard: dict, metric: str) -> float | None:
+    value = scorecard.get("summary", {}).get(metric)
+    return None if value is None else float(value)
+
+
+def evaluate_gate(candidate_card: dict, incumbent_card: dict | None,
+                  config: GateConfig = GateConfig(), *,
+                  candidate: str = "candidate",
+                  incumbent: str | None = None) -> GateDecision:
+    """Pure comparison of two scorecards (no registry side effects)."""
+    decision = GateDecision(passed=True, candidate=candidate,
+                            incumbent=incumbent)
+    if incumbent_card is None:
+        decision.reasons.append("no incumbent: candidate passes by default")
+        return decision
+    for metric in config.metrics:
+        if metric not in _LOWER_IS_BETTER:
+            raise RegistryError(f"ungateable metric {metric!r}")
+        cand = _aggregate(candidate_card, metric)
+        inc = _aggregate(incumbent_card, metric)
+        if cand is None or inc is None:
+            decision.passed = False
+            decision.reasons.append(
+                f"{metric}: missing from "
+                f"{'candidate' if cand is None else 'incumbent'} scorecard")
+            continue
+        bound = inc * (1.0 + config.rel_tolerance)
+        ok = cand <= bound
+        decision.comparisons.append(
+            {"metric": metric, "candidate": cand, "incumbent": inc,
+             "bound": bound, "ok": ok})
+        if not ok:
+            decision.passed = False
+            decision.reasons.append(
+                f"{metric}: {cand:.4f} exceeds incumbent "
+                f"{inc:.4f} (+{config.rel_tolerance:.0%} bound "
+                f"{bound:.4f})")
+    if config.check_ssr:
+        cand = _aggregate(candidate_card, "ssr")
+        if cand is not None:
+            ok = abs(cand - 1.0) <= config.ssr_tolerance
+            decision.comparisons.append(
+                {"metric": "ssr", "candidate": cand, "incumbent": 1.0,
+                 "bound": config.ssr_tolerance, "ok": ok})
+            if not ok:
+                decision.passed = False
+                decision.reasons.append(
+                    f"ssr: {cand:.3f} further than "
+                    f"{config.ssr_tolerance} from 1")
+    return decision
+
+
+def gate_version(registry: ModelRegistry, candidate: str,
+                 incumbent: str | None = None,
+                 config: GateConfig = GateConfig()) -> GateDecision:
+    """Gate a registered candidate and apply the resulting transition.
+
+    ``registered`` → ``servable`` on pass, ``registered`` → ``rejected``
+    on fail; the decision is booked as ``registry.gate_decisions`` and a
+    ``registry.gate`` event either way.  The incumbent defaults to the
+    registry's current ``live`` version.
+    """
+    record = registry.get(candidate)
+    if record.scorecard is None:
+        raise RegistryError(
+            f"candidate {candidate!r} has no scorecard; attach one "
+            "before gating")
+    if incumbent is None:
+        incumbent = registry.live()
+    incumbent_card = None
+    if incumbent is not None:
+        incumbent_card = registry.get(incumbent).scorecard
+        if incumbent_card is None:
+            raise RegistryError(
+                f"incumbent {incumbent!r} has no scorecard to gate "
+                "against")
+    decision = evaluate_gate(record.scorecard, incumbent_card, config,
+                             candidate=candidate, incumbent=incumbent)
+    metrics = _obs_metrics()
+    if metrics is not None:
+        metrics.counter("registry.gate_decisions",
+                        "promotion-gate outcomes").inc(
+            1, outcome="pass" if decision.passed else "fail")
+    record_event("registry.gate", subsystem="registry",
+                 severity="info" if decision.passed else "warning",
+                 version=candidate, incumbent=incumbent or "",
+                 passed=decision.passed,
+                 reasons="; ".join(decision.reasons))
+    reason = "; ".join(decision.reasons) or "gate passed"
+    registry.set_status(candidate,
+                        "servable" if decision.passed else "rejected",
+                        reason=reason)
+    return decision

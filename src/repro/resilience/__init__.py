@@ -32,7 +32,8 @@ acyclic.
 """
 
 from .atomic import atomic_open, atomic_write
-from .checksum import payload_checksum, verify_payload
+from .checksum import (content_digest, payload_checksum, state_digest,
+                       verify_payload)
 from .faults import (BitFlip, ClusterFailure, CommTimeout, ComputeCorruption,
                      ComputeFault, Drop, FailStop, FaultInjector, FaultPlan,
                      MessageCorruption, RankFailure, ResilienceError,
@@ -46,7 +47,7 @@ _SCRUB_EXPORTS = ("ScrubFinding", "ScrubReport", "latest_valid_checkpoint",
 
 __all__ = [
     "atomic_open", "atomic_write",
-    "payload_checksum", "verify_payload",
+    "payload_checksum", "verify_payload", "content_digest", "state_digest",
     "ResilienceError", "RankFailure", "MessageCorruption", "CommTimeout",
     "ClusterFailure", "ComputeCorruption",
     "FailStop", "BitFlip", "Drop", "Straggle", "ComputeFault",

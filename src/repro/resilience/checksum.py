@@ -12,15 +12,26 @@ CRC32 is deliberate: it is stdlib, fast enough to run on every simulated
 message, and detects the single/low-multiplicity bit flips the fault
 model injects.  It is *not* cryptographic — the threat model is hardware
 corruption, not an adversary.
+
+Alongside the fast CRCs live the SHA-256 *content digests* used wherever
+an artifact needs a collision-resistant address rather than a corruption
+check: the forecast cache keys entries by them, the model registry stores
+blobs under them, and checkpoint manifests embed them so lineage survives
+the round trip.  They live here (not in :mod:`repro.serve`) because both
+the training and serving stacks need the exact same byte-level hash — a
+registry weights digest must equal the digest the forecast cache computes
+for the same ``state_dict``, or version isolation silently breaks.
 """
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 
 import numpy as np
 
-__all__ = ["payload_checksum", "verify_payload"]
+__all__ = ["payload_checksum", "verify_payload",
+           "content_digest", "state_digest"]
 
 
 def payload_checksum(array: np.ndarray) -> int:
@@ -38,3 +49,37 @@ def payload_checksum(array: np.ndarray) -> int:
 def verify_payload(array: np.ndarray, expected: int) -> bool:
     """True iff ``array`` hashes to ``expected``."""
     return payload_checksum(array) == int(expected)
+
+
+def content_digest(array: np.ndarray) -> str:
+    """SHA-256 over dtype, shape, and raw bytes (content address).
+
+    This is the canonical single-array digest: the forecast cache keys
+    initial states with it and the registry addresses blobs by it, so the
+    byte layout (dtype string, shape tuple repr, then raw bytes) must not
+    change — doing so would orphan every stored blob and cache entry.
+    """
+    h = hashlib.sha256()
+    a = np.ascontiguousarray(array)
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def state_digest(state: dict) -> str:
+    """SHA-256 over a named mapping of arrays (sorted by name).
+
+    The canonical multi-array digest: ``serve.cache.weights_digest`` is
+    this applied to a model's ``state_dict``, and the registry uses the
+    same hash for its weight blobs — which is what makes a registry
+    version and a live serving binding comparable by digest alone.
+    """
+    h = hashlib.sha256()
+    for name, array in sorted(state.items()):
+        h.update(name.encode())
+        a = np.ascontiguousarray(array)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()

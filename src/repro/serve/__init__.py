@@ -29,7 +29,13 @@ forecasts — not recomputing them — is what makes serving tractable):
   the output-domain silent-data-corruption defense (quarantine, re-run
   on a different worker, alert);
 * :mod:`~repro.serve.service` — :class:`ForecastService`: the
-  discrete-event serving loop gluing it all together.
+  discrete-event serving loop gluing it all together, now multi-version:
+  every loaded model gets a :class:`ModelBinding` and requests are
+  pinned to a version at admission;
+* :mod:`~repro.serve.deploy` — :class:`DeploymentController`: canary
+  rollout of a registry-gated candidate version (hash-routed traffic
+  split, shadow skill checks, auto-promote / auto-rollback), reconciled
+  end-to-end by :meth:`repro.obs.TraceReport.deploy_check`.
 
 Every stage is instrumented through :mod:`repro.obs`, and
 :meth:`repro.obs.TraceReport.serve_check` reconciles the request
@@ -42,11 +48,12 @@ from .api import (TIERS, ForecastRequest, ForecastResponse, Rejected,
 from .batcher import BatcherConfig, MemberTask, MicroBatch, MicroBatcher
 from .cache import (CacheEntry, ForecastCache, array_digest, forecast_key,
                     solver_digest, weights_digest)
+from .deploy import DeployConfig, DeploymentController
 from .guardrails import BoundViolation, ForecastValidator
 from .queue import AdmissionQueue, PendingRequest, QueueConfig
 from .samplers import (OneStepForecaster, SloTracker, TierPolicy,
                        TierRouter, default_tiers)
-from .service import ForecastService, ServiceConfig
+from .service import ForecastService, ModelBinding, ServiceConfig
 from .worker import ServeWorkerPool, WorkerState
 
 __all__ = [
@@ -60,5 +67,6 @@ __all__ = [
     "default_tiers",
     "ServeWorkerPool", "WorkerState",
     "ForecastValidator", "BoundViolation",
-    "ForecastService", "ServiceConfig",
+    "ForecastService", "ServiceConfig", "ModelBinding",
+    "DeployConfig", "DeploymentController",
 ]

@@ -96,7 +96,8 @@ class ForecastResponse:
     ``quarantines`` counts how many times a physical guardrail
     quarantined this request's forecast before it was served (a served
     response with ``quarantines > 0`` was healed by a re-run on a
-    different worker).
+    different worker).  ``version`` names the model version that served
+    the request (empty for rejections, which never reach a model).
     """
 
     request: ForecastRequest
@@ -111,6 +112,7 @@ class ForecastResponse:
     cache_hits: int = 0
     cache_misses: int = 0
     quarantines: int = 0
+    version: str = ""
 
     @property
     def ok(self) -> bool:

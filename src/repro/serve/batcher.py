@@ -70,11 +70,12 @@ class MemberTask:
 
 @dataclass(eq=False)
 class MicroBatch:
-    """Same-tier requests stacked for execution."""
+    """Same-tier, same-model-version requests stacked for execution."""
 
     policy: TierPolicy
     requests: list[PendingRequest]
     assembled_s: float
+    version: str = ""
 
     @property
     def n_members(self) -> int:
@@ -111,7 +112,7 @@ class MicroBatcher:
             tier = head.request.tier
             while (len(requests) < self.config.max_requests
                    and members < self.config.max_members):
-                nxt = self.queue.pop_tier(tier)
+                nxt = self.queue.pop_tier(tier, head.version)
                 if nxt is None:
                     break
                 if nxt.expired(now):
@@ -126,7 +127,7 @@ class MicroBatcher:
                 requests.append(nxt)
                 members += nxt.request.n_members
             batch = MicroBatch(policy=head.policy, requests=requests,
-                               assembled_s=now)
+                               assembled_s=now, version=head.version)
             registry = _obs_metrics()
             if registry is not None:
                 registry.counter("serve.batches",

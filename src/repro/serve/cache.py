@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.profile import metrics as _obs_metrics
+from ..resilience.checksum import content_digest, state_digest
 
 __all__ = ["array_digest", "weights_digest", "solver_digest",
            "forecast_key", "CacheEntry", "ForecastCache"]
@@ -31,24 +32,17 @@ __all__ = ["array_digest", "weights_digest", "solver_digest",
 
 def array_digest(array: np.ndarray) -> str:
     """SHA-256 over dtype, shape, and raw bytes (content address)."""
-    h = hashlib.sha256()
-    a = np.ascontiguousarray(array)
-    h.update(str(a.dtype).encode())
-    h.update(str(a.shape).encode())
-    h.update(a.tobytes())
-    return h.hexdigest()
+    return content_digest(array)
 
 
 def weights_digest(model) -> str:
-    """SHA-256 over a model's full ``state_dict`` (sorted by name)."""
-    h = hashlib.sha256()
-    for name, array in sorted(model.state_dict().items()):
-        h.update(name.encode())
-        a = np.ascontiguousarray(array)
-        h.update(str(a.dtype).encode())
-        h.update(str(a.shape).encode())
-        h.update(a.tobytes())
-    return h.hexdigest()
+    """SHA-256 over a model's full ``state_dict`` (sorted by name).
+
+    Delegates to :func:`repro.resilience.checksum.state_digest` so the
+    registry's weight-blob digests and the serving cache's version keys
+    are the *same* hash over the same bytes.
+    """
+    return state_digest(model.state_dict())
 
 
 def solver_digest(solver_config) -> str:
@@ -119,6 +113,9 @@ class ForecastCache:
             registry.gauge("serve.cache_bytes",
                            "resident forecast-cache bytes").set(
                 self.current_bytes)
+            registry.gauge("serve.cache_occupancy_frac",
+                           "resident bytes / byte budget").set(
+                self.current_bytes / self.max_bytes)
 
     def get(self, key: str) -> CacheEntry | None:
         entry = self._entries.get(key)

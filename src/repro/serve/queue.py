@@ -36,12 +36,20 @@ class QueueConfig:
 
 @dataclass(eq=False)
 class PendingRequest:
-    """An accepted request waiting for a micro-batch slot."""
+    """An accepted request waiting for a micro-batch slot.
+
+    ``version`` pins the model version the request was routed to at
+    admission (canary routing happens *before* the queue, so a version
+    swap mid-flight re-labels queued work explicitly via
+    :meth:`AdmissionQueue.reassign_version` instead of silently serving
+    a different model than the one admitted against).
+    """
 
     request: ForecastRequest
     policy: TierPolicy
     enqueued_s: float
     seq: int
+    version: str = ""
 
     def waited_s(self, now: float) -> float:
         return now - self.enqueued_s
@@ -76,7 +84,7 @@ class AdmissionQueue:
                                                                 tier=tier)
 
     def submit(self, request: ForecastRequest,
-               now: float) -> PendingRequest:
+               now: float, version: str = "") -> PendingRequest:
         """Admit or raise :class:`Rejected` (the caller books the tally)."""
         policy = self.router.route(request.tier)
         if len(self._heap) >= self.config.max_depth:
@@ -87,7 +95,8 @@ class AdmissionQueue:
                            f"tier {request.tier!r} cap "
                            f"{policy.max_queue_depth}")
         pending = PendingRequest(request=request, policy=policy,
-                                 enqueued_s=now, seq=self._seq)
+                                 enqueued_s=now, seq=self._seq,
+                                 version=version)
         heapq.heappush(self._heap, (policy.priority, self._seq, pending))
         self._seq += 1
         self.depths[request.tier] = self.depth(request.tier) + 1
@@ -138,9 +147,32 @@ class AdmissionQueue:
         """Tier of the current head (what the next batch will serve)."""
         return self._heap[0][2].request.tier if self._heap else None
 
-    def pop_tier(self, tier: str) -> PendingRequest | None:
-        """Next pending request of ``tier`` if it sits at the head of its
-        priority class (FIFO within the tier is preserved)."""
-        if self._heap and self._heap[0][2].request.tier == tier:
-            return self.pop()
-        return None
+    def pop_tier(self, tier: str,
+                 version: str | None = None) -> PendingRequest | None:
+        """Next pending request of ``tier`` (and, when given, ``version``)
+        if it sits at the head of its priority class (FIFO within the
+        tier is preserved; a batch never mixes model versions)."""
+        if not self._heap:
+            return None
+        head = self._heap[0][2]
+        if head.request.tier != tier:
+            return None
+        if version is not None and head.version != version:
+            return None
+        return self.pop()
+
+    def reassign_version(self, src: str, dst: str) -> int:
+        """Re-route every queued request pinned to version ``src`` onto
+        ``dst`` (heap order is untouched — only the label changes).
+
+        This is the zero-loss half of a rollback: when a canary version
+        is withdrawn, its queued-but-unserved requests are explicitly
+        handed to the restored incumbent instead of being dropped or
+        left pointing at a binding that no longer exists.
+        """
+        moved = 0
+        for _, _, pending in self._heap:
+            if pending.version == src:
+                pending.version = dst
+                moved += 1
+        return moved

@@ -45,7 +45,7 @@ from .queue import AdmissionQueue, PendingRequest, QueueConfig
 from .samplers import OneStepForecaster, SloTracker, TierRouter
 from .worker import ServeWorkerPool
 
-__all__ = ["ServiceConfig", "ForecastService"]
+__all__ = ["ServiceConfig", "ModelBinding", "ForecastService"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,26 @@ class ServiceConfig:
     #: Re-dispatches a quarantined batch may attempt (on a *different*
     #: worker) before its still-invalid requests fail.
     guardrail_reruns: int = 1
+
+
+@dataclass(eq=False)
+class ModelBinding:
+    """One servable model version: per-tier steppers + content digests.
+
+    The binding is what a request is routed *to*: ``steppers[tier]`` runs
+    the forecast, ``digests[tier]`` namespaces its cache entries, and
+    ``weights_digest`` is the version's identity — the same SHA-256 the
+    registry records, so "which weights are live" is answerable by digest
+    comparison alone (``TraceReport.deploy_check`` relies on this to
+    prove a rollback restored the incumbent exactly).
+    """
+
+    version: str
+    steppers: dict[str, object]
+    digests: dict[str, tuple[str, str]]
+    weights_digest: str
+    weights_nbytes: int
+    field_shape: tuple | None
 
 
 class ForecastService:
@@ -95,7 +115,7 @@ class ForecastService:
                  variable_names: Sequence[str] | None = None,
                  cluster=None, injector=None,
                  retry: RetryPolicy | None = None,
-                 validator=None):
+                 validator=None, version: str = "v0"):
         self.config = config if config is not None else ServiceConfig()
         self.router = router if router is not None else TierRouter()
         self.base = forecaster
@@ -108,33 +128,130 @@ class ForecastService:
         self.pool = ServeWorkerPool(self.config.n_workers, cluster=cluster,
                                     injector=injector, retry=retry)
         self.slo = SloTracker(self.router.policies)
-        # Per-tier steppers + content digests.  A tier whose model is
-        # missing (no student) simply isn't served.
+        # Model versions.  Every loaded version gets a ModelBinding;
+        # requests are pinned to a version at admission (by the optional
+        # version_router, else the active version) and a micro-batch
+        # never mixes versions.
+        self.bindings: dict[str, ModelBinding] = {}
+        self.active_version = version
+        #: Optional ``request -> version`` override (canary routing).
+        self.version_router = None
+        #: Optional ``(response, now) -> None`` tap, called for every
+        #: response the event loop emits (the deployment controller's
+        #: online observation point).
+        self.response_hook = None
+        self.bindings[version] = self._build_binding(version, forecaster,
+                                                     student)
+        self.tally = {"submitted": 0, "accepted": 0, "rejected": 0,
+                      "completed": 0, "timeout": 0, "failed": 0}
+
+    # -- model versions ------------------------------------------------------
+    def _build_binding(self, version: str,
+                       forecaster: ResidualForecaster,
+                       student=None) -> ModelBinding:
+        """Per-tier steppers + content digests for one model version.
+        A tier whose model is missing (no student) simply isn't served
+        by this version."""
         base_digest = weights_digest(forecaster.model)
-        self._steppers: dict[str, object] = {}
-        self._digests: dict[str, tuple[str, str]] = {}
+        steppers: dict[str, object] = {}
+        digests: dict[str, tuple[str, str]] = {}
         for name, policy in self.router.policies.items():
             if policy.solver_config is None:
                 if student is None:
                     continue
-                self._steppers[name] = OneStepForecaster(
+                steppers[name] = OneStepForecaster(
                     model=student, state_norm=forecaster.state_norm,
                     residual_norm=forecaster.residual_norm,
                     forcing_fn=forecaster.forcing_fn,
                     forcing_norm=forecaster.forcing_norm,
                     flow=forecaster.flow)
-                self._digests[name] = (weights_digest(student),
-                                       solver_digest(None))
+                digests[name] = (weights_digest(student),
+                                 solver_digest(None))
             else:
-                self._steppers[name] = _dc_replace(
+                steppers[name] = _dc_replace(
                     forecaster, solver_config=policy.solver_config)
-                self._digests[name] = (base_digest,
-                                       solver_digest(policy.solver_config))
+                digests[name] = (base_digest,
+                                 solver_digest(policy.solver_config))
         cfg = getattr(forecaster.model, "config", None)
-        self._field_shape = ((cfg.height, cfg.width, cfg.channels)
-                             if cfg is not None else None)
-        self.tally = {"submitted": 0, "accepted": 0, "rejected": 0,
-                      "completed": 0, "timeout": 0, "failed": 0}
+        field_shape = ((cfg.height, cfg.width, cfg.channels)
+                       if cfg is not None else None)
+        nbytes = sum(int(np.asarray(a).nbytes)
+                     for a in forecaster.model.state_dict().values())
+        return ModelBinding(version=version, steppers=steppers,
+                            digests=digests, weights_digest=base_digest,
+                            weights_nbytes=nbytes, field_shape=field_shape)
+
+    def add_version(self, version: str, forecaster: ResidualForecaster,
+                    student=None) -> ModelBinding:
+        """Load an additional servable version (does not shift traffic —
+        routing is the ``version_router``'s / ``set_active``'s job)."""
+        if version in self.bindings:
+            raise ValueError(f"version {version!r} already loaded")
+        binding = self._build_binding(version, forecaster, student)
+        active = self.bindings[self.active_version]
+        if (binding.field_shape is not None
+                and active.field_shape is not None
+                and binding.field_shape != active.field_shape):
+            raise ValueError(
+                f"version {version!r} field shape {binding.field_shape} "
+                f"differs from active {active.field_shape}")
+        self.bindings[version] = binding
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.gauge("serve.loaded_versions",
+                           "model versions loaded").set(len(self.bindings))
+        _record_event("serve.version_loaded", subsystem="serve",
+                      version=version,
+                      weights=binding.weights_digest[:12])
+        return binding
+
+    def set_active(self, version: str) -> None:
+        """Make ``version`` the default target for new admissions."""
+        if version not in self.bindings:
+            raise ValueError(f"version {version!r} not loaded")
+        previous, self.active_version = self.active_version, version
+        _record_event("serve.version_activated", subsystem="serve",
+                      version=version, previous=previous)
+
+    def remove_version(self, version: str) -> int:
+        """Unload a version; queued requests pinned to it are re-routed
+        to the active version (returned count) — no request is lost."""
+        if version == self.active_version:
+            raise ValueError("cannot remove the active version")
+        if version not in self.bindings:
+            raise ValueError(f"version {version!r} not loaded")
+        del self.bindings[version]
+        moved = self.queue.reassign_version(version, self.active_version)
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.gauge("serve.loaded_versions",
+                           "model versions loaded").set(len(self.bindings))
+            if moved:
+                registry.counter(
+                    "serve.requests_reassigned",
+                    "queued requests re-routed off an unloaded "
+                    "version").inc(moved, src=version,
+                                   dst=self.active_version)
+        _record_event("serve.version_unloaded", subsystem="serve",
+                      version=version, reassigned=moved)
+        return moved
+
+    def stepper(self, tier: str, version: str | None = None):
+        """The stepper serving ``tier`` for ``version`` (default active).
+        Useful for comparing served output against a direct rollout —
+        they are bit-identical for the same seed."""
+        binding = self.bindings[version if version is not None
+                                else self.active_version]
+        return binding.steppers[tier]
+
+    def _route_version(self, request: ForecastRequest) -> str:
+        version = self.active_version
+        if self.version_router is not None:
+            version = self.version_router(request)
+        if version not in self.bindings:
+            raise Rejected("version_unavailable",
+                           f"version {version!r} not loaded")
+        return version
 
     # -- accounting ----------------------------------------------------------
     def _count(self, event: str, tier: str, **labels) -> None:
@@ -166,38 +283,53 @@ class ForecastService:
         """Queue the request; a rejection becomes an immediate response."""
         self._count("submitted", request.tier)
         try:
-            if request.tier not in self._steppers:
+            version = self._route_version(request)
+            binding = self.bindings[version]
+            if request.tier not in binding.steppers:
                 raise Rejected("tier_unavailable",
-                               f"tier {request.tier!r} has no model")
-            if (self._field_shape is not None
+                               f"tier {request.tier!r} has no model in "
+                               f"version {version!r}")
+            if (binding.field_shape is not None
                     and tuple(request.init_state.shape)
-                    != self._field_shape):
+                    != binding.field_shape):
                 raise Rejected("bad_shape",
-                               f"want {self._field_shape}, got "
+                               f"want {binding.field_shape}, got "
                                f"{tuple(request.init_state.shape)}")
             self._variable_indices(request)
-            self.queue.submit(request, now)
+            self.queue.submit(request, now, version=version)
         except Rejected as exc:
             self._count("rejected", request.tier, reason=exc.reason)
             return ForecastResponse(request=request, status="rejected",
                                     error=str(exc))
-        self._count("accepted", request.tier)
+        self._count("accepted", request.tier, version=version)
         return None
 
     # -- responses -----------------------------------------------------------
     def _timeout_response(self, pending: PendingRequest,
                           now: float) -> ForecastResponse:
         err = Timeout(pending.waited_s(now), pending.policy.deadline_s)
-        self._count("timeout", pending.request.tier)
+        self._count("timeout", pending.request.tier,
+                    version=pending.version)
         return ForecastResponse(request=pending.request, status="timeout",
                                 error=str(err),
-                                queue_wait_s=pending.waited_s(now))
+                                queue_wait_s=pending.waited_s(now),
+                                version=pending.version)
 
     def _failed_response(self, pending: PendingRequest,
                          error: str) -> ForecastResponse:
-        self._count("failed", pending.request.tier)
+        self._count("failed", pending.request.tier,
+                    version=pending.version)
         return ForecastResponse(request=pending.request, status="failed",
-                                error=error)
+                                error=error, version=pending.version)
+
+    def _emit(self, responses: list, response: ForecastResponse,
+              now: float) -> None:
+        """Append a response and fire the observation hook.  The hook
+        runs between event-loop steps, so a deployment controller may
+        swap routing / bindings here without racing an in-flight batch."""
+        responses.append(response)
+        if self.response_hook is not None:
+            self.response_hook(response, now)
 
     # -- cache interaction ---------------------------------------------------
     def _restore_prefix(self, task: MemberTask, weights: str,
@@ -223,13 +355,24 @@ class ForecastService:
             task.rng.bit_generator.state = last.rng_state
 
     # -- batch execution -----------------------------------------------------
+    def _dispatch(self, now: float, batch: MicroBatch,
+                  payload: np.ndarray, exclude: int | None = None):
+        """Dispatch a batch to the pool under its version's weights (the
+        pool hot-swaps the worker if it holds a different version)."""
+        binding = self.bindings[batch.version]
+        return self.pool.dispatch(
+            now, lambda: self._execute(batch), payload=payload,
+            exclude=exclude, version=batch.version,
+            weights_nbytes=binding.weights_nbytes)
+
     def _execute(self, batch: MicroBatch) -> dict:
         """Run one micro-batch to completion: restore cached prefixes,
         advance every unfinished member through stacked forwards, cache
         each new step.  Returns per-pending results."""
         policy = batch.policy
-        stepper = self._steppers[policy.name]
-        weights, solver = self._digests[policy.name]
+        binding = self.bindings[batch.version]
+        stepper = binding.steppers[policy.name]
+        weights, solver = binding.digests[policy.name]
         tasks = MicroBatcher.member_tasks(batch)
         with _span("serve.cache", category="serve", tier=policy.name,
                    members=len(tasks)):
@@ -341,9 +484,8 @@ class ForecastService:
                           excluded_worker=worker.rank,
                           quarantined=len(bad))
             try:
-                worker, end, result = self.pool.dispatch(
-                    end, lambda: self._execute(batch), payload=payload,
-                    exclude=worker.rank)
+                worker, end, result = self._dispatch(
+                    end, batch, payload, exclude=worker.rank)
             except ResilienceError:
                 return worker, end, result, qcounts, \
                     {id(p) for p in batch.requests}
@@ -366,7 +508,7 @@ class ForecastService:
             while i < len(arrivals) and arrivals[i].arrival_s <= now:
                 rejected = self._admit(arrivals[i], now)
                 if rejected is not None:
-                    responses.append(rejected)
+                    self._emit(responses, rejected, now)
                 i += 1
             if not len(self.queue):
                 if i >= len(arrivals):
@@ -378,8 +520,8 @@ class ForecastService:
                 # Capacity is gone: answer everything still queued.
                 while len(self.queue):
                     pending = self.queue.pop()
-                    responses.append(self._failed_response(
-                        pending, "no live serve workers"))
+                    self._emit(responses, self._failed_response(
+                        pending, "no live serve workers"), now)
                 continue
             if free_at > now:
                 if i < len(arrivals) and arrivals[i].arrival_s < free_at:
@@ -389,7 +531,8 @@ class ForecastService:
                 continue
             batch, expired = self.batcher.next_batch(now)
             for pending in expired:
-                responses.append(self._timeout_response(pending, now))
+                self._emit(responses, self._timeout_response(pending, now),
+                           now)
             if batch is None:
                 continue
             payload = np.stack([np.asarray(p.request.init_state,
@@ -397,26 +540,27 @@ class ForecastService:
                                 for p in batch.requests
                                 for _ in range(p.request.n_members)])
             try:
-                worker, end, result = self.pool.dispatch(
-                    now, lambda: self._execute(batch), payload=payload)
+                worker, end, result = self._dispatch(now, batch, payload)
             except ResilienceError as exc:
                 for pending in batch.requests:
-                    responses.append(self._failed_response(pending,
-                                                           str(exc)))
+                    self._emit(responses,
+                               self._failed_response(pending, str(exc)),
+                               now)
                 continue
             worker, end, result, qcounts, failed_ids = self._guard_result(
                 batch, payload, worker, end, result)
             for pending in batch.requests:
                 req = pending.request
                 if id(pending) in failed_ids:
-                    responses.append(self._failed_response(
-                        pending, "forecast failed physical guardrails"))
+                    self._emit(responses, self._failed_response(
+                        pending, "forecast failed physical guardrails"),
+                        end)
                     continue
                 per = result["per_request"][id(pending)]
                 latency = end - req.arrival_s
-                self._count("completed", req.tier)
+                self._count("completed", req.tier, version=batch.version)
                 self.slo.record(req.tier, latency)
-                responses.append(ForecastResponse(
+                self._emit(responses, ForecastResponse(
                     request=req, status="completed",
                     forecast=self._subset(req, per["forecast"]),
                     latency_s=latency,
@@ -426,7 +570,8 @@ class ForecastService:
                     batch_members=result["members"],
                     cache_hits=per["cache_hits"],
                     cache_misses=per["cache_misses"],
-                    quarantines=qcounts.get(id(pending), 0)))
+                    quarantines=qcounts.get(id(pending), 0),
+                    version=batch.version), end)
         return responses
 
     def serve(self, request: ForecastRequest) -> ForecastResponse:
@@ -435,4 +580,8 @@ class ForecastService:
 
     def stats(self) -> dict:
         return {"tally": dict(self.tally), "cache": self.cache.stats(),
-                "workers": self.pool.stats(), "slo": self.slo.summary()}
+                "workers": self.pool.stats(), "slo": self.slo.summary(),
+                "versions": {
+                    "active": self.active_version,
+                    "loaded": {v: b.weights_digest[:12]
+                               for v, b in self.bindings.items()}}}

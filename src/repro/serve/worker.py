@@ -37,12 +37,21 @@ __all__ = ["WorkerState", "ServeWorkerPool"]
 
 @dataclass(eq=False)
 class WorkerState:
-    """One replica worker: a logical rank plus its virtual busy horizon."""
+    """One replica worker: a logical rank plus its virtual busy horizon.
+
+    ``loaded_version`` tracks which model version's weights are resident
+    on the worker; a dispatch for a different version hot-swaps them
+    first (booked as ``serve.weight_swaps`` / ``serve.weight_swap_bytes``
+    — the cost a rolling canary deployment pays that steady-state serving
+    does not).
+    """
 
     rank: int
     free_at: float = 0.0
     alive: bool = True
     batches_served: int = 0
+    loaded_version: str = ""
+    weight_swaps: int = 0
 
 
 class ServeWorkerPool:
@@ -121,9 +130,36 @@ class ServeWorkerPool:
         self.cluster.transfer("p2p", self.dispatcher_rank, worker.rank,
                               nbytes, payload=payload)
 
+    def _swap_weights(self, worker: WorkerState, version: str,
+                      weights_nbytes: int) -> None:
+        """Hot-swap the worker onto ``version``'s weights if a different
+        version (or none) is resident.  The swap bytes ride the same
+        metered fabric as batch inputs, so a rolling deployment's weight
+        traffic shows up in the comm ledger like any other transfer."""
+        if not version or worker.loaded_version == version:
+            return
+        previous = worker.loaded_version
+        if self.cluster is not None and weights_nbytes > 0:
+            self.cluster.transfer("p2p", self.dispatcher_rank, worker.rank,
+                                  weights_nbytes)
+        worker.loaded_version = version
+        worker.weight_swaps += 1
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.counter("serve.weight_swaps",
+                             "model-version hot swaps on workers").inc(
+                1, version=version)
+            registry.counter("serve.weight_swap_bytes",
+                             "weight bytes shipped for hot swaps").inc(
+                weights_nbytes, version=version)
+        _record_event("serve.weight_swap", subsystem="serve",
+                      rank=worker.rank, version=version,
+                      previous=previous, nbytes=weights_nbytes)
+
     def dispatch(self, now: float, execute: Callable[[], object],
                  payload: np.ndarray | None = None,
-                 exclude: int | None = None
+                 exclude: int | None = None, version: str = "",
+                 weights_nbytes: int = 0
                  ) -> tuple[WorkerState, float, object]:
         """Run ``execute`` on the earliest-free live worker.
 
@@ -135,7 +171,9 @@ class ServeWorkerPool:
         resilience errors.  ``exclude`` steers the batch away from one
         rank — a guardrail re-run must land on a *different* worker so a
         sticky-faulty replica can't re-serve its own corruption — unless
-        that rank is the only live capacity left.
+        that rank is the only live capacity left.  ``version`` names the
+        model version the batch needs; a worker holding different weights
+        hot-swaps (see :meth:`_swap_weights`) before serving.
         """
         if self.injector is not None:
             self.injector.advance(self.n_dispatches)
@@ -150,6 +188,7 @@ class ServeWorkerPool:
             worker = min(candidates, key=lambda w: (w.free_at, w.rank))
             try:
                 self._ship_inputs(worker, payload, nbytes)
+                self._swap_weights(worker, version, weights_nbytes)
             except RankFailure:
                 self._mark_dead(worker, "serve")
                 attempts += 1
@@ -180,6 +219,8 @@ class ServeWorkerPool:
             "dispatches": self.n_dispatches,
             "per_worker": [{"rank": w.rank, "alive": w.alive,
                             "batches": w.batches_served,
-                            "busy_until_s": w.free_at}
+                            "busy_until_s": w.free_at,
+                            "loaded_version": w.loaded_version,
+                            "weight_swaps": w.weight_swaps}
                            for w in self.workers],
         }

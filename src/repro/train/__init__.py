@@ -2,7 +2,7 @@
 checkpointing."""
 
 from .checkpoint import (CheckpointCorruption, CheckpointError,
-                         list_checkpoints, load_checkpoint,
+                         checkpoint_lineage, list_checkpoints, load_checkpoint,
                          load_sharded_checkpoint, prune_checkpoints,
                          read_sharded_checkpoint, save_checkpoint,
                          save_sharded_checkpoint, write_sharded_checkpoint)
@@ -13,6 +13,6 @@ __all__ = ["Trainer", "TrainerConfig", "save_checkpoint", "load_checkpoint",
            "CheckpointError", "CheckpointCorruption",
            "save_sharded_checkpoint", "load_sharded_checkpoint",
            "write_sharded_checkpoint", "read_sharded_checkpoint",
-           "list_checkpoints", "prune_checkpoints",
+           "list_checkpoints", "prune_checkpoints", "checkpoint_lineage",
            "evaluate_validation_loss",
            "MultistepFinetuner", "MultistepConfig"]

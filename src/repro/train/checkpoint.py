@@ -31,11 +31,11 @@ import numpy as np
 
 from ..nn import EMA, AdamW, Module
 from ..resilience.atomic import atomic_open
-from ..resilience.checksum import payload_checksum
+from ..resilience.checksum import payload_checksum, state_digest
 
 __all__ = [
     "CheckpointError", "CheckpointCorruption", "MANIFEST_NAME",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "checkpoint_lineage",
     "write_sharded_checkpoint", "read_sharded_checkpoint",
     "save_sharded_checkpoint", "load_sharded_checkpoint",
     "list_checkpoints", "prune_checkpoints",
@@ -248,6 +248,33 @@ def prune_checkpoints(root: str, keep: int) -> list[str]:
         shutil.rmtree(directory)
         removed.append(directory)
     return removed
+
+
+def checkpoint_lineage(config, state_norm, residual_norm,
+                       forcing_norm=None, seed: int = 0) -> dict:
+    """Lineage block for a checkpoint manifest's ``extra`` dict.
+
+    Embeds the model config plus each normalizer's statistics *and* its
+    SHA-256 content digest, so a registry
+    (:meth:`repro.registry.ModelRegistry.register_from_checkpoint`) can
+    reconstruct a servable version from the checkpoint alone and prove
+    the stats were not altered in transit.  Manifests written before
+    this field existed simply lack the ``lineage`` key — readers must
+    treat its absence as "pre-lineage checkpoint", not an error.
+    """
+    from ..model.config import config_to_dict
+    normalizers = {}
+    for name, norm in (("state", state_norm), ("residual", residual_norm),
+                       ("forcing", forcing_norm)):
+        if norm is None:
+            continue
+        normalizers[name] = {
+            "mean": [float(v) for v in norm.mean],
+            "std": [float(v) for v in norm.std],
+            "digest": state_digest({"mean": norm.mean, "std": norm.std}),
+        }
+    return {"model_config": config_to_dict(config),
+            "normalizers": normalizers, "seed": int(seed)}
 
 
 def save_sharded_checkpoint(directory: str, model: Module,

@@ -62,8 +62,9 @@ from ..resilience.faults import (SDC_SITE_KINDS, ComputeCorruption,
                                  inject_compute)
 from ..tensor import Tensor
 from .checkpoint import (CheckpointCorruption, CheckpointError,
-                         list_checkpoints, load_sharded_checkpoint,
-                         prune_checkpoints, save_sharded_checkpoint)
+                         checkpoint_lineage, list_checkpoints,
+                         load_sharded_checkpoint, prune_checkpoints,
+                         save_sharded_checkpoint)
 
 __all__ = ["TrainerConfig", "Trainer", "evaluate_validation_loss"]
 
@@ -441,6 +442,11 @@ class Trainer:
                 "t": self.rng_t.bit_generator.state,
                 "z": self.rng_z.bit_generator.state,
             },
+            # Registry lineage: config + digest-stamped normalizer stats,
+            # so `register_from_checkpoint` needs nothing but this dir.
+            "lineage": checkpoint_lineage(
+                self.model.config, self.state_norm, self.residual_norm,
+                self.forcing_norm, seed=self.config.seed),
         }
         path = save_sharded_checkpoint(directory, self.model, self.optimizer,
                                        self.ema,

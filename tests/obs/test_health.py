@@ -195,6 +195,34 @@ class TestPullDetectors:
         alerts = mon.alerts.select("kernels.plan_cache_collapse")
         assert [dict(a.labels)["cache"] for a in alerts] == ["cold"]
 
+    def test_forecast_cache_collapse_after_version_swap(self):
+        """A version swap cold-starts the content-addressed cache: the
+        hit rate collapses and the pull detector pages before SLO burn
+        would."""
+        reg = MetricsRegistry()
+        reg.counter("serve.cache").inc(10, event="hit")
+        reg.counter("serve.cache").inc(90, event="miss")
+        reg.gauge("serve.cache_occupancy_frac").set(0.8)
+        mon = _monitor(forecast_cache_min_lookups=64,
+                       forecast_cache_min_hit_rate=0.3)
+        result = mon.check_forecast_cache(reg)
+        assert result == {"hit_rate": 0.1, "lookups": 100,
+                          "occupancy_frac": 0.8}
+        alerts = mon.alerts.select("serve.cache_collapse")
+        assert len(alerts) == 1 and alerts[0].severity == "warning"
+
+    def test_forecast_cache_healthy_or_quiet_stays_silent(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.cache").inc(80, event="hit")
+        reg.counter("serve.cache").inc(20, event="miss")
+        mon = _monitor(forecast_cache_min_lookups=64)
+        assert mon.check_forecast_cache(reg)["hit_rate"] == 0.8
+        # Under the lookup floor: no verdict at all.
+        quiet = MetricsRegistry()
+        quiet.counter("serve.cache").inc(3, event="miss")
+        assert mon.check_forecast_cache(quiet) is None
+        assert mon.alerts.kinds() == set()
+
     def test_report_shape(self):
         mon = _monitor()
         mon.observe_step(0, 1.0)

@@ -1,0 +1,21 @@
+"""Registry fixtures: a small archive + trainer pair (untrained — the
+registry stores and gates bytes + scorecards, not skill)."""
+
+import pytest
+
+from repro import quickstart_components
+from repro.registry import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def reg_world():
+    """``(archive, trainer)`` shared by the registry tests."""
+    archive, trainer = quickstart_components(height=8, width=16,
+                                             train_years=0.2,
+                                             test_years=0.1)
+    return archive, trainer
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(str(tmp_path / "registry"))

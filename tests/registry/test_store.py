@@ -1,0 +1,176 @@
+"""Registry store: content addressing, lineage, lifecycle, durability."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.registry import ModelRegistry, RegistryError, TRANSITIONS
+from repro.resilience import state_digest
+from repro.train.checkpoint import save_sharded_checkpoint
+
+
+def register(registry, trainer, **kwargs):
+    return registry.register(trainer.model, trainer.state_norm,
+                             trainer.residual_norm, trainer.forcing_norm,
+                             **kwargs)
+
+
+class TestRegistration:
+    def test_roundtrip(self, registry, reg_world):
+        _, trainer = reg_world
+        record = register(registry, trainer, source="unit-test", step=7,
+                          seed=3)
+        assert record.version == "v0001"
+        assert record.status == "registered"
+        assert record.created_step == 7 and record.seed == 3
+        assert record.weights_digest == state_digest(
+            trainer.model.state_dict())
+        assert record.version in registry
+
+        state = registry.load_state(record.version)
+        for name, array in trainer.model.state_dict().items():
+            assert np.array_equal(state[name], array)
+        assert registry.load_config(record.version) == trainer.model.config
+        norm = registry.load_normalizer(record.version, "state")
+        assert np.array_equal(norm.mean, trainer.state_norm.mean)
+        assert np.array_equal(norm.std, trainer.state_norm.std)
+
+    def test_content_dedup(self, registry, reg_world):
+        """Identical bytes registered twice share one blob set."""
+        _, trainer = reg_world
+        a = register(registry, trainer, version="a")
+        blobs = registry.stats()["blobs"]
+        b = register(registry, trainer, version="b", parent="a")
+        assert a.weights_digest == b.weights_digest
+        assert registry.stats()["blobs"] == blobs
+
+    def test_duplicate_and_invalid_names(self, registry, reg_world):
+        _, trainer = reg_world
+        register(registry, trainer, version="a")
+        with pytest.raises(RegistryError, match="already registered"):
+            register(registry, trainer, version="a")
+        with pytest.raises(RegistryError, match="invalid version"):
+            register(registry, trainer, version="../escape")
+        with pytest.raises(RegistryError, match="unknown parent"):
+            register(registry, trainer, version="c", parent="nope")
+
+    def test_lineage_chain(self, registry, reg_world):
+        _, trainer = reg_world
+        register(registry, trainer, version="a")
+        register(registry, trainer, version="b", parent="a")
+        register(registry, trainer, version="c", parent="b")
+        assert registry.lineage("c") == ["c", "b", "a"]
+
+    def test_index_survives_reopen(self, registry, reg_world):
+        _, trainer = reg_world
+        record = register(registry, trainer, source="durability")
+        reopened = ModelRegistry(registry.root)
+        again = reopened.get(record.version)
+        assert again.weights_digest == record.weights_digest
+        assert again.source == "durability"
+        state = reopened.load_state(record.version)
+        name = next(iter(trainer.model.state_dict()))
+        assert np.array_equal(state[name],
+                              trainer.model.state_dict()[name])
+
+
+class TestLifecycle:
+    def test_legal_chain_records_history(self, registry, reg_world):
+        _, trainer = reg_world
+        record = register(registry, trainer)
+        v = record.version
+        for status in ("servable", "canary", "live", "retired"):
+            registry.set_status(v, status, reason=f"to {status}")
+        history = registry.get(v).history
+        assert [h["dst"] for h in history] == ["servable", "canary",
+                                               "live", "retired"]
+
+    def test_illegal_transition_raises(self, registry, reg_world):
+        _, trainer = reg_world
+        v = register(registry, trainer).version
+        with pytest.raises(RegistryError, match="illegal transition"):
+            registry.set_status(v, "live")  # registered -> live
+
+    def test_single_live_invariant(self, registry, reg_world):
+        _, trainer = reg_world
+        for name in ("a", "b"):
+            register(registry, trainer, version=name)
+            registry.set_status(name, "servable")
+        registry.set_status("a", "live")
+        assert registry.live() == "a"
+        with pytest.raises(RegistryError, match="retire it first"):
+            registry.set_status("b", "live")
+        registry.set_status("a", "retired")
+        registry.set_status("b", "live")
+        assert registry.live() == "b"
+
+    def test_terminal_states_are_terminal(self):
+        for status, nexts in TRANSITIONS.items():
+            if status in ("rejected", "retired", "rolled_back"):
+                assert nexts == ()
+
+
+class TestMaintenance:
+    def test_gc_reclaims_only_orphans(self, registry, reg_world):
+        _, trainer = reg_world
+        record = register(registry, trainer)
+        orphan = os.path.join(registry.blob_dir, "deadbeef" * 8 + ".npz")
+        with open(orphan, "wb") as fh:
+            fh.write(b"junk")
+        assert registry.gc(dry_run=True) == ["deadbeef" * 8]
+        assert os.path.exists(orphan)
+        assert registry.gc() == ["deadbeef" * 8]
+        assert not os.path.exists(orphan)
+        # The referenced version still materializes.
+        assert registry.load_state(record.version)
+
+    def test_verify_catches_corrupted_blob(self, registry, reg_world):
+        _, trainer = reg_world
+        record = register(registry, trainer)
+        assert registry.verify() == []
+        path = registry._blob_path(record.weights_digest, "arrays")
+        arrays = dict(np.load(path))
+        name = sorted(arrays)[0]
+        arrays[name] = arrays[name] + 1.0
+        np.savez(path, **arrays)
+        findings = registry.verify()
+        assert findings and "digest mismatch" in findings[0]
+        with pytest.raises(RegistryError, match="digest mismatch"):
+            registry.load_state(record.version)
+
+
+class TestCheckpointRegistration:
+    def test_register_from_checkpoint_prefers_ema(self, registry,
+                                                  reg_world, tmp_path):
+        _, trainer = reg_world
+        path = trainer.save(str(tmp_path / "ckpt"))
+        record = registry.register_from_checkpoint(path, version="ck")
+        assert record.source == path
+        # EMA shadow == fresh-model weights before any fit() step, and is
+        # what forecaster() serves — the registered bytes must match it.
+        state = registry.load_state("ck")
+        ema_model = trainer.forecaster().model
+        for name, array in ema_model.state_dict().items():
+            assert np.array_equal(state[name], array)
+        assert registry.load_config("ck") == trainer.model.config
+
+    def test_pre_lineage_checkpoint_raises_typed_error(self, registry,
+                                                       reg_world, tmp_path):
+        _, trainer = reg_world
+        path = save_sharded_checkpoint(str(tmp_path / "old"), trainer.model)
+        with pytest.raises(RegistryError, match="lineage"):
+            registry.register_from_checkpoint(path)
+
+    def test_checkpoint_registration_digest_matches_direct(self, registry,
+                                                           reg_world,
+                                                           tmp_path):
+        """The same weights reach the same address through either door."""
+        _, trainer = reg_world
+        path = trainer.save(str(tmp_path / "ckpt"))
+        via_ckpt = registry.register_from_checkpoint(path, version="ck")
+        direct = registry.register_state(
+            trainer.forecaster().model.state_dict(), trainer.model.config,
+            trainer.state_norm, trainer.residual_norm, trainer.forcing_norm,
+            version="direct")
+        assert via_ckpt.weights_digest == direct.weights_digest

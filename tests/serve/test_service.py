@@ -93,7 +93,7 @@ class TestCachingThroughService:
         longer = svc.serve(request(serve_world, n_steps=3, n_members=2,
                                    seed=1))
         assert longer.cache_hits == 4  # the 2-step prefix of both members
-        direct = svc._steppers["standard"].ensemble_rollout(
+        direct = svc.stepper("standard").ensemble_rollout(
             archive.fields[idx], n_steps=3, n_members=2, seed=1,
             start_index=idx)
         assert np.array_equal(longer.forecast, direct)
