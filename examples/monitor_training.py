@@ -50,7 +50,7 @@ def chaos_train(archive, checkpoint_root: str):
         SupervisorConfig(seed=0, global_batch=8, gas=2, save_every=1,
                          checkpoint_root=checkpoint_root,
                          max_restarts=4),
-        plan=plan)
+        fault_plan=plan)
     sup.run(5)
     return sup
 

@@ -108,6 +108,9 @@ class HealthConfig:
     forecast_cache_min_hit_rate: float = 0.3
     # serve queues
     queue_saturation_frac: float = 0.9
+    # autotuned-plan skew: observed step time may exceed prediction by
+    # this fraction before the plan is considered stale
+    plan_skew_frac: float = 0.25
     # SLO burn rate (multi-window)
     slo_error_budget: float = 0.05  # tolerated miss fraction
     burn_fast_window: int = 16
@@ -369,6 +372,34 @@ class HealthMonitor:
                 f"lookups (occupancy {occupancy:.2f})", data=result)
         return result
 
+    def check_plan_skew(self, registry) -> dict | None:
+        """Measured step time drifting away from the tuned plan.
+
+        Compares ``autotune.observed_step_s`` (set per step by a
+        plan-driven trainer/supervisor) with the plan's
+        ``autotune.predicted_step_s``.  A sustained overshoot beyond
+        ``plan_skew_frac`` means the plan's cost model no longer
+        describes the run (contention, a degraded grid, a stale
+        snapshot) — the fix is a re-tune, so the alert is advisory, not
+        a fault.  Returns ``None`` until both gauges have data.
+        """
+        cfg = self.config
+        predicted = registry.gauge("autotune.predicted_step_s").value()
+        observed = registry.gauge("autotune.observed_step_s").value()
+        if predicted <= 0.0 or observed <= 0.0:
+            return None
+        skew = observed / predicted - 1.0
+        result = {"predicted_s": predicted, "observed_s": observed,
+                  "skew_frac": skew}
+        if skew > cfg.plan_skew_frac:
+            self.alerts.fire(
+                "autotune.plan_skew", "warning", "autotune",
+                f"observed step {observed:.4g}s is {skew:+.0%} off the "
+                f"plan's {predicted:.4g}s prediction (tolerance "
+                f"{cfg.plan_skew_frac:.0%}) — re-tune the layout",
+                data=result)
+        return result
+
     # -- pull: everything registry-driven ----------------------------------
     def check(self, registry=None, tracer=None) -> "HealthMonitor":
         """Run every pull detector that has data available."""
@@ -378,6 +409,7 @@ class HealthMonitor:
         if registry is not None:
             self.check_faults(registry)
             self.check_forecast_cache(registry)
+            self.check_plan_skew(registry)
         self.check_plan_caches()
         if tracer is not None:
             self.check_rank_balance(tracer)

@@ -432,6 +432,82 @@ class TraceReport:
         self.checks.append(result)
         return result
 
+    # -- autotuned layout --------------------------------------------------
+    def autotune_check(self, plan, topology=None, config=None,
+                       machine=None) -> dict:
+        """The run must have executed the plan, and the plan must be sound.
+
+        Two directions:
+
+        * **executed = planned** — ``topology`` (the engine's live grid,
+          when given) must be exactly the plan's chosen layout; a run
+          that silently fell back to a hardcoded grid fails here;
+        * **pruning soundness** — the planner's recorded
+          infeasible-candidate examples are re-checked against a fresh
+          enumeration for the same inputs: none of them may appear in
+          today's feasible set (a pruned layout that would actually fit
+          means the pruning constraints drifted from the cost model),
+          and the chosen layout must still be feasible.
+
+        ``config``/``machine`` default to resolving the plan's names
+        (custom configs must be passed explicitly).
+        """
+        from ..parallel import autotune as _autotune
+        config = config if config is not None else (
+            _autotune.resolve_config(plan.config_name))
+        machine = machine if machine is not None else (
+            _autotune.resolve_machine(plan.machine_name))
+        feasible, _, _ = _autotune.enumerate_candidates(
+            config, machine, plan.world_size, plan.gbs,
+            pipeline=plan.pipeline, micro_batches=plan.micro_batches,
+            schedule=plan.schedule)
+        feasible_keys = {(c.dp, c.pp, tuple(c.wp_grid), c.sp, c.micro_batch)
+                         for c in feasible}
+        chosen = plan.chosen
+        chosen_feasible = (chosen.dp, chosen.pp, tuple(chosen.wp_grid),
+                           chosen.sp, chosen.micro_batch) in feasible_keys
+        topology_matches = None
+        if topology is not None:
+            topology_matches = (
+                topology.dp == chosen.dp and topology.pp == chosen.pp
+                and tuple(topology.wp_grid) == tuple(chosen.wp_grid)
+                and topology.sp == chosen.sp)
+        violations = []
+        for rec in plan.pruned:
+            # Each prune reason rules out an axis combination for *every*
+            # refinement of it, so the recheck matches at that granularity
+            # (an SP rejected for head divisibility must not appear on any
+            # feasible candidate at all, etc.).
+            reason, wp = rec["reason"], tuple(rec["wp_grid"])
+            if reason == "sequence":
+                hit = any(c.sp == rec["sp"] for c in feasible)
+            elif reason == "windows":
+                hit = any(tuple(c.wp_grid) == wp for c in feasible)
+            elif reason == "ranks":
+                hit = any(c.dp == rec["dp"] and tuple(c.wp_grid) == wp
+                          and c.sp == rec["sp"] for c in feasible)
+            elif reason == "batch":
+                hit = any(c.dp == rec["dp"]
+                          and c.micro_batch == rec["micro_batch"]
+                          for c in feasible)
+            else:  # memory: the exact candidate
+                hit = (rec["dp"], rec["pp"], wp, rec["sp"],
+                       rec["micro_batch"]) in feasible_keys
+            if hit:
+                violations.append(rec)
+        agrees = (chosen_feasible and not violations
+                  and topology_matches is not False)
+        result = {"check": "autotune_plan",
+                  "layout": chosen.layout_key,
+                  "topology_matches": topology_matches,
+                  "chosen_feasible": chosen_feasible,
+                  "n_feasible": len(feasible),
+                  "pruned_rechecked": len(plan.pruned),
+                  "pruned_violations": violations,
+                  "agrees": agrees}
+        self.checks.append(result)
+        return result
+
     # -- rendering ---------------------------------------------------------
     def to_dict(self) -> dict:
         out = {"checks": self.checks,
@@ -504,6 +580,17 @@ class TraceReport:
                     f"  health alerts (injected/alert): "
                     f"{', '.join(parts)} | "
                     f"{c['alerts_total']} alert(s) | "
+                    f"{'OK' if c['agrees'] else 'MISMATCH'}")
+            elif c["check"] == "autotune_plan":
+                topo = c["topology_matches"]
+                topo_s = ("-" if topo is None
+                          else "match" if topo else "DIVERGED")
+                lines.append(
+                    f"  autotune plan {c['layout']}: executed topology "
+                    f"{topo_s} | chosen "
+                    f"{'feasible' if c['chosen_feasible'] else 'INFEASIBLE'}"
+                    f" | {c['pruned_rechecked']} pruned rechecked, "
+                    f"{len(c['pruned_violations'])} violation(s) | "
                     f"{'OK' if c['agrees'] else 'MISMATCH'}")
             elif c["check"] == "comm_bytes":
                 n = len(c["registry_vs_commstats"])

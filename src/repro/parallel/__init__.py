@@ -15,6 +15,13 @@ from .window_parallel import (
 )
 from .zero import ZeroOptimizer
 
+#: Autotuner exports sit above :mod:`repro.perf` (which imports this
+#: package's topology); lazy loading (PEP 562) keeps the layering acyclic.
+_AUTOTUNE_EXPORTS = ("Candidate", "TunedPlan", "NoFeasibleLayout",
+                     "enumerate_candidates", "plan_for", "calibrated_step_s",
+                     "save_plan", "load_plan", "frontier_table",
+                     "verify_plan", "resolve_plan")
+
 __all__ = [
     "SimCluster", "CommStats", "RankTopology",
     "shard_sequence", "unshard_sequence", "ulysses_attention",
@@ -23,4 +30,12 @@ __all__ = [
     "AerisPipeline", "ZeroOptimizer",
     "allreduce_gradients", "replicate_model",
     "SwipeEngine", "swipe_window_attention",
+    *_AUTOTUNE_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _AUTOTUNE_EXPORTS:
+        from . import autotune
+        return getattr(autotune, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

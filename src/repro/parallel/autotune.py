@@ -1,0 +1,702 @@
+"""SWiPe layout autotuner: enumerate → prune → calibrate → plan.
+
+The paper tunes its (DP, PP, WP, SP) layouts by hand per Aurora
+configuration (Table II); this module makes the system choose, persist,
+and defend its own layouts:
+
+1. **enumerate** — every :class:`~repro.parallel.topology.RankTopology`
+   candidate for a model + machine + rank budget: DP over divisors of
+   the global batch, the WP grid over the window grid, SP up to the
+   machine's tiles per node, crossed with micro-batch counts.  PP is the
+   model's stage structure (``pp_stages`` for pipelined engines, 1 for
+   the monolithic reference trainer) and is never factorized — the
+   pipeline indexes real stages, not an abstract mesh axis.
+2. **prune** — divisibility constraints first (window grid, Ulysses
+   heads, batch), then the :mod:`repro.perf` memory model: a candidate
+   whose footprint exceeds the tile budget even with full activation
+   checkpointing is recorded as infeasible (with the reason), not
+   silently dropped — :meth:`repro.obs.TraceReport.autotune_check`
+   re-checks those records.
+3. **predict** — :func:`repro.perf.estimate_performance` (bubble + comm
+   + optimizer/allreduce tail) ranks the survivors; checkpointing
+   candidates carry the ~1/3 recompute overhead.
+4. **calibrate** — the top-K survivors (and the worst, for the margin
+   claim) are re-timed through the dependency-driven 1F1B timeline
+   simulator at a *measured* sustained FLOP rate (the CLI measures the
+   ``aeris_train_step_tiny`` kernel workload).  Calibration is reported
+   alongside the prediction; it never changes the deterministic ranking,
+   so a plan re-derived in CI (no timers) reproduces the artifact
+   bit-for-bit.
+
+The result is a :class:`TunedPlan` — a content-addressed JSON artifact
+keyed by the config/machine/budget *and* a digest of the cost-model
+sources, written crash-safely via :func:`repro.resilience.atomic_write`.
+Committed snapshots under ``benchmarks/results/plans/`` are the CI drift
+oracle: ``tools/autotune_cli.py verify`` re-derives each plan and fails
+on any divergence in the chosen layout, the ranked frontier, or the key
+digest (a cost-model edit makes the artifact stale by construction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from ..model import AerisConfig, count_parameters
+from ..model.config import SMALL, TABLE_II, TINY, config_to_dict
+from ..obs.profile import metrics as _obs_metrics
+from ..obs.profile import record_event as _record_event
+from ..perf.comm_model import CommModel
+from ..perf.flops import (forward_flops_per_sample, stage_forward_flops,
+                          training_flops_per_sample)
+from ..perf.machine import AURORA, LUMI, Machine
+from ..perf.memory import CHECKPOINT_RECOMPUTE_OVERHEAD, MemoryModel
+from ..perf.pipeline_model import schedule_1f1b, simulate_timeline
+from ..perf.scaling import (ALLREDUCE_EFFICIENCY, OPT_SECONDS_PER_GPARAM,
+                            estimate_performance, kernel_efficiency)
+from ..resilience.atomic import atomic_write
+from .topology import RankTopology
+from .window_parallel import window_sharding
+
+__all__ = [
+    "Candidate", "TunedPlan", "NoFeasibleLayout",
+    "enumerate_candidates", "plan_for", "calibrated_step_s",
+    "code_digest", "plan_digest",
+    "plan_filename", "save_plan", "load_plan", "frontier_table",
+    "verify_plan", "resolve_config", "resolve_machine", "resolve_plan",
+    "CONFIGS", "MACHINES", "PLANS_DIR",
+]
+
+SCHEMA_VERSION = 1
+
+#: Default home of committed plan snapshots (the CI drift oracle).
+PLANS_DIR = os.path.join("benchmarks", "results", "plans")
+
+#: Resolvable names for snapshot verification (custom configs must be
+#: passed explicitly to :func:`verify_plan`).
+CONFIGS: dict[str, AerisConfig] = {"tiny": TINY, "small": SMALL, **TABLE_II}
+MACHINES: dict[str, Machine] = {"aurora": AURORA, "lumi": LUMI}
+
+#: Cost-model sources whose content keys the plan digest: editing any of
+#: them invalidates every committed snapshot (stale by construction).
+_CODE_RELEVANT = (
+    "autotune.py",
+    os.path.join("..", "perf", "comm_model.py"),
+    os.path.join("..", "perf", "flops.py"),
+    os.path.join("..", "perf", "machine.py"),
+    os.path.join("..", "perf", "memory.py"),
+    os.path.join("..", "perf", "pipeline_model.py"),
+    os.path.join("..", "perf", "scaling.py"),
+    os.path.join("..", "perf", "tradeoff.py"),
+)
+
+#: Detailed pruned-candidate records kept per plan (full counts are
+#: always kept; examples are capped so huge sweeps stay small on disk).
+_MAX_PRUNED_RECORDS = 32
+
+
+class NoFeasibleLayout(ValueError):
+    """No candidate survives pruning for this (config, machine, budget)."""
+
+
+# ---------------------------------------------------------------------------
+# candidates
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible layout with its predicted performance."""
+
+    dp: int
+    pp: int
+    wp_grid: tuple[int, int]
+    sp: int
+    micro_batch: int
+    gas: int
+    checkpointing: bool
+    predicted_step_s: float
+    images_per_sec: float
+    mfu: float
+    bubble_frac: float
+    memory_gb: float           # per-rank footprint (states + activations)
+    windows_per_rank: int
+
+    @property
+    def wp(self) -> int:
+        return self.wp_grid[0] * self.wp_grid[1]
+
+    @property
+    def world_size(self) -> int:
+        return self.dp * self.pp * self.wp * self.sp
+
+    @property
+    def topology(self) -> RankTopology:
+        return RankTopology(dp=self.dp, pp=self.pp,
+                            wp_grid=tuple(self.wp_grid), sp=self.sp)
+
+    @property
+    def layout_key(self) -> str:
+        a, b = self.wp_grid
+        return (f"dp{self.dp}.pp{self.pp}.wp{a}x{b}."
+                f"sp{self.sp}.mb{self.micro_batch}")
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["wp_grid"] = list(self.wp_grid)
+        d["layout"] = self.layout_key
+        d["world_size"] = self.world_size
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Candidate":
+        names = {f.name for f in dataclasses.fields(cls)}
+        kw = {k: v for k, v in d.items() if k in names}
+        kw["wp_grid"] = tuple(kw["wp_grid"])
+        return cls(**kw)
+
+
+def _sort_key(c: Candidate):
+    """Deterministic ranking: predicted step time, then the layout tuple
+    (fewest ranks first) so exact ties never depend on iteration order."""
+    return (c.predicted_step_s, c.world_size, c.dp, c.pp, c.wp_grid,
+            c.sp, c.micro_batch)
+
+
+# ---------------------------------------------------------------------------
+# prediction
+
+
+def _predict(config: AerisConfig, machine: Machine, topo: RankTopology,
+             gbs: int, micro_batch: int, schedule: str) -> dict:
+    """Predicted (step_s, images_per_sec, mfu, bubble) for one layout.
+
+    Pipelined layouts (``pp == pp_stages``) go through
+    :func:`repro.perf.estimate_performance`; the monolithic layout
+    (``pp == 1``, the reference trainer) uses the same composition with
+    whole-model FLOPs and no bubble.
+    """
+    if topo.pp == config.pp_stages:
+        est = estimate_performance(config, machine, topo, gbs,
+                                   schedule=schedule,
+                                   micro_batch=micro_batch)
+        from ..perf.pipeline_model import bubble_fraction
+        gas = gbs // (topo.dp * micro_batch)
+        return {"step_s": est.step_time_s,
+                "images_per_sec": est.images_per_sec, "mfu": est.mfu,
+                "bubble": bubble_fraction(topo.pp, gas, schedule)}
+    if topo.pp != 1:
+        raise ValueError(f"pp must be 1 or pp_stages={config.pp_stages}, "
+                         f"got {topo.pp}")
+    gas = gbs // (topo.dp * micro_batch)
+    comm = CommModel(config, machine, topo)
+    tokens_per_tile = config.seq_len / (topo.sp * topo.wp)
+    eff = kernel_efficiency(tokens_per_tile)
+    tile_peak = machine.peak_tflops_tile_bf16 * 1e12
+    fwd_flops = forward_flops_per_sample(config) * micro_batch
+    t_fwd_compute = fwd_flops / (topo.wp * topo.sp * tile_peak * eff)
+    # One un-pipelined rank holds every block: blocks_per_layer per
+    # interior stage in scaling.py generalizes to n_blocks here.
+    t_a2a = (comm.alltoall_time_per_block(micro_batch)
+             * config.n_blocks / 3.0)
+    slot = 3.0 * t_fwd_compute + 3.0 * t_a2a
+    params = count_parameters(config)
+    t_opt = OPT_SECONDS_PER_GPARAM * params / 1e9
+    t_ar = (comm.grad_allreduce_bytes()
+            / (machine.network_bw_gbs * 1e9 * ALLREDUCE_EFFICIENCY)
+            + 2e-4 * topo.dp if topo.dp > 1 else 0.0)
+    step_s = gas * slot + t_opt + t_ar
+    flops_step = training_flops_per_sample(config) * gbs
+    tiles = topo.world_size
+    tflops_per_tile = flops_step / step_s / tiles / 1e12
+    return {"step_s": step_s, "images_per_sec": gbs / step_s,
+            "mfu": tflops_per_tile / machine.peak_tflops_tile_bf16,
+            "bubble": 0.0}
+
+
+def _divisors(n: int) -> list[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def enumerate_candidates(config: AerisConfig, machine: Machine,
+                         world_size: int, gbs: int, *,
+                         pipeline: bool = True,
+                         micro_batches: tuple[int, ...] = (1, 2, 4),
+                         schedule: str = "1f1b") -> tuple[
+                             list[Candidate], list[dict], dict]:
+    """All feasible layout candidates plus the pruning record.
+
+    Returns ``(feasible, pruned_examples, pruned_counts)``; feasible
+    candidates are unranked (see :func:`plan_for`), pruned examples are
+    capped at ``_MAX_PRUNED_RECORDS`` in deterministic enumeration order
+    while the per-reason counts are exact.
+    """
+    if world_size < 1 or gbs < 1:
+        raise ValueError("world_size and gbs must be positive")
+    pp = config.pp_stages if pipeline else 1
+    grid_h, grid_w = config.grid
+    n_win_h = grid_h // config.window[0]
+    n_win_w = grid_w // config.window[1]
+    tokens_per_window = config.window[0] * config.window[1]
+
+    feasible: list[Candidate] = []
+    pruned: list[dict] = []
+    counts: dict[str, int] = {}
+
+    def record(reason: str, dp, wp_grid, sp, micro_batch, detail: str):
+        counts[reason] = counts.get(reason, 0) + 1
+        if len(pruned) < _MAX_PRUNED_RECORDS:
+            pruned.append({
+                "reason": reason, "detail": detail, "dp": dp, "pp": pp,
+                "wp_grid": list(wp_grid), "sp": sp,
+                "micro_batch": micro_batch})
+
+    for sp in range(1, machine.tiles_per_node + 1):
+        if config.heads % sp or tokens_per_window % sp:
+            record("sequence", 1, (1, 1), sp, None,
+                   f"SP={sp} divides neither heads={config.heads} nor "
+                   f"window tokens={tokens_per_window}")
+            continue
+        for a in range(1, n_win_h + 1):
+            for b in range(1, n_win_w + 1):
+                if n_win_h % a or n_win_w % b:
+                    record("windows", 1, (a, b), sp, None,
+                           f"window grid {n_win_h}x{n_win_w} not divisible "
+                           f"by WP grid {a}x{b}")
+                    continue
+                sharding = window_sharding(config.grid, config.window,
+                                           (a, b))
+                for dp in _divisors(gbs):
+                    topo = RankTopology(dp=dp, pp=pp, wp_grid=(a, b), sp=sp)
+                    if topo.world_size > world_size:
+                        record("ranks", dp, (a, b), sp, None,
+                               f"needs {topo.world_size} ranks, "
+                               f"budget {world_size}")
+                        continue
+                    for mb in micro_batches:
+                        if gbs % (dp * mb):
+                            record("batch", dp, (a, b), sp, mb,
+                                   f"gbs={gbs} not divisible by "
+                                   f"dp*mb={dp * mb}")
+                            continue
+                        mem = MemoryModel(config, topo)
+                        budget_gb = machine.tile_memory_gb
+                        if mem.fits(mb, budget_gb, checkpointing=False):
+                            ckpt = False
+                            total = mem.total_bytes_per_rank(mb)
+                        elif mem.fits(mb, budget_gb, checkpointing=True):
+                            ckpt = True
+                            total = mem.total_bytes_per_rank(
+                                mb, checkpointing=True)
+                        else:
+                            record("memory", dp, (a, b), sp, mb,
+                                   f"{mem.total_bytes_per_rank(mb, True) / 1e9:.1f} GB "
+                                   f"> {budget_gb:.1f} GB tile budget even "
+                                   "with checkpointing")
+                            continue
+                        pred = _predict(config, machine, topo, gbs, mb,
+                                        schedule)
+                        factor = (1.0 + CHECKPOINT_RECOMPUTE_OVERHEAD
+                                  if ckpt else 1.0)
+                        feasible.append(Candidate(
+                            dp=dp, pp=pp, wp_grid=(a, b), sp=sp,
+                            micro_batch=mb, gas=gbs // (dp * mb),
+                            checkpointing=ckpt,
+                            predicted_step_s=pred["step_s"] * factor,
+                            images_per_sec=pred["images_per_sec"] / factor,
+                            mfu=pred["mfu"] / factor,
+                            bubble_frac=pred["bubble"],
+                            memory_gb=total / 1e9,
+                            windows_per_rank=sharding.windows_per_rank))
+    return feasible, pruned, counts
+
+
+# ---------------------------------------------------------------------------
+# calibration
+
+
+def calibrated_step_s(config: AerisConfig, machine: Machine,
+                      candidate: Candidate, flops_per_s: float,
+                      schedule: str = "1f1b") -> float:
+    """Step time re-derived from a *measured* sustained FLOP rate.
+
+    Replays the candidate's 1F1B schedule through the dependency-driven
+    timeline simulator with stage costs scaled to ``flops_per_s``
+    (instead of ``peak × kernel_efficiency``), then adds the same
+    optimizer/allreduce tail as the analytic model.  Deterministic given
+    the rate — the only wall-clock input is the rate measurement itself.
+    """
+    if flops_per_s <= 0:
+        raise ValueError("flops_per_s must be positive")
+    topo = candidate.topology
+    comm = CommModel(config, machine, topo)
+    if topo.pp == config.pp_stages and topo.pp > 1:
+        interior = max(stage_forward_flops(config, s)
+                       for s in range(1, config.pp_stages - 1))
+    else:
+        interior = forward_flops_per_sample(config)
+    fwd_flops = interior * candidate.micro_batch
+    t_fwd_compute = fwd_flops / (topo.wp * topo.sp * flops_per_s)
+    blocks = (config.blocks_per_layer if topo.pp > 1 else config.n_blocks)
+    t_a2a = comm.alltoall_time_per_block(candidate.micro_batch) * blocks / 3.0
+    t_fwd = t_fwd_compute + t_a2a
+    t_bwd = 2.0 * t_fwd_compute + 2.0 * t_a2a
+    timeline = simulate_timeline(schedule_1f1b(topo.pp, candidate.gas),
+                                 t_fwd=t_fwd, t_bwd=t_bwd)
+    params_per_rank = count_parameters(config) / topo.pp
+    t_opt = OPT_SECONDS_PER_GPARAM * params_per_rank / 1e9
+    t_ar = (comm.grad_allreduce_bytes()
+            / (machine.network_bw_gbs * 1e9 * ALLREDUCE_EFFICIENCY)
+            + 2e-4 * topo.dp if topo.dp > 1 else 0.0)
+    factor = (1.0 + CHECKPOINT_RECOMPUTE_OVERHEAD
+              if candidate.checkpointing else 1.0)
+    return timeline["makespan"] * factor + t_opt + t_ar
+
+
+# ---------------------------------------------------------------------------
+# digests
+
+
+def code_digest() -> str:
+    """SHA-256 over the cost-model sources (see ``_CODE_RELEVANT``)."""
+    h = hashlib.sha256()
+    here = os.path.dirname(os.path.abspath(__file__))
+    for rel in _CODE_RELEVANT:
+        with open(os.path.join(here, rel), "rb") as fh:
+            h.update(hashlib.sha256(fh.read()).digest())
+    return h.hexdigest()
+
+
+def plan_digest(config: AerisConfig, machine: Machine, world_size: int,
+                gbs: int, *, pipeline: bool = True,
+                micro_batches: tuple[int, ...] = (1, 2, 4),
+                schedule: str = "1f1b") -> str:
+    """Content address of a plan: every planning input + the code digest."""
+    key = {
+        "schema": SCHEMA_VERSION,
+        "config": config_to_dict(config),
+        "machine": dataclasses.asdict(machine),
+        "world_size": world_size,
+        "gbs": gbs,
+        "pipeline": pipeline,
+        "micro_batches": list(micro_batches),
+        "schedule": schedule,
+        "code": code_digest(),
+    }
+    blob = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the plan artifact
+
+
+@dataclass
+class TunedPlan:
+    """The autotuner's output: chosen layout + ranked frontier + record.
+
+    ``calibration`` carries the measured-rate re-timings (predicted vs
+    measured per top-K layout); it is *excluded* from the digest and from
+    snapshot verification, so a plan derived with and without timers is
+    the same content-addressed artifact.
+    """
+
+    config_name: str
+    machine_name: str
+    world_size: int
+    gbs: int
+    pipeline: bool
+    micro_batches: tuple[int, ...]
+    schedule: str
+    chosen: Candidate
+    frontier: list[Candidate]
+    n_feasible: int
+    worst: Candidate
+    pruned_counts: dict[str, int]
+    pruned: list[dict]
+    digest: str
+    code: str
+    calibration: dict = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def chosen_topology(self) -> RankTopology:
+        return self.chosen.topology
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "config_name": self.config_name,
+            "machine_name": self.machine_name,
+            "world_size": self.world_size,
+            "gbs": self.gbs,
+            "pipeline": self.pipeline,
+            "micro_batches": list(self.micro_batches),
+            "schedule": self.schedule,
+            "digest": self.digest,
+            "code": self.code,
+            "chosen": self.chosen.to_dict(),
+            "frontier": [c.to_dict() for c in self.frontier],
+            "n_feasible": self.n_feasible,
+            "worst": self.worst.to_dict(),
+            "pruned_counts": dict(sorted(self.pruned_counts.items())),
+            "pruned": self.pruned,
+            "calibration": self.calibration,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TunedPlan":
+        return cls(
+            config_name=d["config_name"], machine_name=d["machine_name"],
+            world_size=d["world_size"], gbs=d["gbs"],
+            pipeline=d["pipeline"],
+            micro_batches=tuple(d["micro_batches"]),
+            schedule=d["schedule"],
+            chosen=Candidate.from_dict(d["chosen"]),
+            frontier=[Candidate.from_dict(c) for c in d["frontier"]],
+            n_feasible=d["n_feasible"],
+            worst=Candidate.from_dict(d["worst"]),
+            pruned_counts=dict(d["pruned_counts"]),
+            pruned=list(d["pruned"]),
+            digest=d["digest"], code=d["code"],
+            calibration=dict(d.get("calibration", {})),
+            schema=d.get("schema", SCHEMA_VERSION))
+
+
+def plan_for(config: AerisConfig, machine: Machine, world_size: int,
+             gbs: int, *, pipeline: bool = True,
+             micro_batches: tuple[int, ...] = (1, 2, 4),
+             schedule: str = "1f1b", top_k: int = 3,
+             frontier_size: int = 16,
+             measured_flops_per_s: float | None = None) -> TunedPlan:
+    """Enumerate, prune, rank, and (optionally) calibrate — one plan.
+
+    The chosen layout is always the best *predicted* candidate, so the
+    plan is deterministic; ``measured_flops_per_s`` (when given) adds a
+    ``calibration`` section with measured-rate step times for the top-K
+    and the worst survivor, which the CI drift gate ignores.
+    """
+    feasible, pruned, counts = enumerate_candidates(
+        config, machine, world_size, gbs, pipeline=pipeline,
+        micro_batches=micro_batches, schedule=schedule)
+    if not feasible:
+        raise NoFeasibleLayout(
+            f"no feasible layout for {config.name} on {machine.name} with "
+            f"{world_size} rank(s), gbs={gbs} "
+            f"(pruned: {dict(sorted(counts.items()))})")
+    ranked = sorted(feasible, key=_sort_key)
+    chosen, worst = ranked[0], ranked[-1]
+    calibration: dict = {}
+    if measured_flops_per_s is not None:
+        targets = ranked[:top_k]
+        if worst.layout_key not in {c.layout_key for c in targets}:
+            targets = targets + [worst]
+        calibration = {
+            "flops_per_s": measured_flops_per_s,
+            "top_k": top_k,
+            "measured_step_s": {
+                c.layout_key: calibrated_step_s(
+                    config, machine, c, measured_flops_per_s, schedule)
+                for c in targets},
+        }
+    plan = TunedPlan(
+        config_name=config.name, machine_name=machine.name,
+        world_size=world_size, gbs=gbs, pipeline=pipeline,
+        micro_batches=tuple(micro_batches), schedule=schedule,
+        chosen=chosen, frontier=ranked[:frontier_size],
+        n_feasible=len(ranked), worst=worst,
+        pruned_counts=counts, pruned=pruned,
+        digest=plan_digest(config, machine, world_size, gbs,
+                           pipeline=pipeline, micro_batches=micro_batches,
+                           schedule=schedule),
+        code=code_digest(), calibration=calibration)
+    registry = _obs_metrics()
+    if registry is not None:
+        registry.counter("autotune.plans", "layout plans derived").inc()
+        registry.counter("autotune.candidates",
+                         "feasible layout candidates").inc(len(ranked))
+        for reason, n in sorted(counts.items()):
+            registry.counter("autotune.pruned",
+                             "candidates pruned as infeasible").inc(
+                n, reason=reason)
+        registry.gauge("autotune.predicted_step_s",
+                       "chosen layout's predicted step time").set(
+            chosen.predicted_step_s)
+    _record_event("autotune.plan", subsystem="autotune",
+                  config=config.name, machine=machine.name,
+                  world_size=world_size, layout=chosen.layout_key,
+                  predicted_step_s=chosen.predicted_step_s)
+    return plan
+
+
+def resolve_plan(plan, config: AerisConfig, machine: Machine,
+                 world_size: int, gbs: int, *, pipeline: bool = True,
+                 micro_batches: tuple[int, ...] = (1, 2, 4),
+                 schedule: str = "1f1b") -> TunedPlan:
+    """Turn a ``plan=`` argument into a validated :class:`TunedPlan`.
+
+    ``"auto"`` derives a fresh plan for the given budget; a
+    :class:`TunedPlan` (e.g. loaded from a snapshot) is checked against
+    the config/budget it is about to drive — a plan tuned for a
+    different model, machine, rank count, or batch silently applied
+    would defeat the whole artifact, so mismatches raise.
+    """
+    if isinstance(plan, str):
+        if plan != "auto":
+            raise ValueError(f"plan must be 'auto' or a TunedPlan, "
+                             f"got {plan!r}")
+        return plan_for(config, machine, world_size, gbs,
+                        pipeline=pipeline, micro_batches=micro_batches,
+                        schedule=schedule)
+    if not isinstance(plan, TunedPlan):
+        raise TypeError(f"plan must be 'auto' or a TunedPlan, "
+                        f"got {type(plan).__name__}")
+    mismatches = []
+    for label, got, want in (("config", plan.config_name, config.name),
+                             ("machine", plan.machine_name, machine.name),
+                             ("world_size", plan.world_size, world_size),
+                             ("gbs", plan.gbs, gbs),
+                             ("pipeline", plan.pipeline, pipeline)):
+        if got != want:
+            mismatches.append(f"{label}: plan has {got!r}, run wants "
+                              f"{want!r}")
+    if mismatches:
+        raise ValueError("tuned plan does not apply to this run — "
+                         + "; ".join(mismatches))
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# artifacts on disk
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
+
+
+def plan_filename(plan: TunedPlan) -> str:
+    """Stable snapshot name: one file per (config, machine, budget)."""
+    mono = "" if plan.pipeline else "_mono"
+    return (f"{_sanitize(plan.config_name)}_{_sanitize(plan.machine_name)}"
+            f"_w{plan.world_size}_g{plan.gbs}{mono}.json")
+
+
+def save_plan(plan: TunedPlan, directory: str = PLANS_DIR) -> str:
+    """Crash-safe snapshot write; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, plan_filename(plan))
+    return atomic_write(path, plan.to_json())
+
+
+def load_plan(path: str) -> TunedPlan:
+    with open(path) as fh:
+        return TunedPlan.from_dict(json.load(fh))
+
+
+def frontier_table(plan: TunedPlan) -> str:
+    """Human-readable ranked frontier (the CI artifact)."""
+    header = (f"TunedPlan {plan.config_name} @ {plan.machine_name} | "
+              f"world={plan.world_size} gbs={plan.gbs} "
+              f"schedule={plan.schedule} | {plan.n_feasible} feasible, "
+              f"pruned {dict(sorted(plan.pruned_counts.items()))} | "
+              f"digest {plan.digest[:12]}")
+    cols = (f"{'rank':>4}  {'layout':<28} {'gas':>4} {'ckpt':>4} "
+            f"{'mem_gb':>8} {'bubble':>7} {'mfu':>6} {'pred_s':>10} "
+            f"{'meas_s':>10}")
+    lines = [header, cols, "-" * len(cols)]
+    measured = plan.calibration.get("measured_step_s", {})
+    for i, c in enumerate(plan.frontier):
+        meas = measured.get(c.layout_key)
+        meas_str = "-" if meas is None else f"{meas:.4g}"
+        lines.append(
+            f"{i:>4}  {c.layout_key:<28} {c.gas:>4} "
+            f"{'y' if c.checkpointing else '-':>4} {c.memory_gb:>8.2f} "
+            f"{c.bubble_frac:>7.3f} {c.mfu:>6.3f} "
+            f"{c.predicted_step_s:>10.4g} {meas_str:>10}")
+    if plan.n_feasible > len(plan.frontier):
+        lines.append(f"  ... {plan.n_feasible - len(plan.frontier)} more "
+                     "feasible candidate(s)")
+    w = plan.worst
+    lines.append(f"worst {w.layout_key}: pred {w.predicted_step_s:.4g} s"
+                 + (f", meas {measured[w.layout_key]:.4g} s"
+                    if w.layout_key in measured else ""))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# verification (the CI drift gate)
+
+
+def resolve_config(name: str) -> AerisConfig:
+    try:
+        return CONFIGS[name] if name in CONFIGS else CONFIGS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown config {name!r}; known: "
+                       f"{sorted(CONFIGS)}") from None
+
+
+def resolve_machine(name: str) -> Machine:
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: "
+                       f"{sorted(MACHINES)}") from None
+
+
+def verify_plan(plan: TunedPlan, config: AerisConfig | None = None,
+                machine: Machine | None = None,
+                rel_tol: float = 1e-9) -> list[str]:
+    """Re-derive ``plan`` from its inputs; return the drift findings.
+
+    Empty list = the snapshot still describes what the planner would
+    choose today.  Calibration is ignored (wall-clock measurements are
+    not content).  Drift kinds: stale key digest (a planning input or a
+    cost-model source changed), a different chosen layout, a reordered
+    frontier, or predicted numbers off by more than ``rel_tol``.
+    """
+    config = config if config is not None else resolve_config(
+        plan.config_name)
+    machine = machine if machine is not None else resolve_machine(
+        plan.machine_name)
+    drifts: list[str] = []
+    expect = plan_digest(config, machine, plan.world_size, plan.gbs,
+                         pipeline=plan.pipeline,
+                         micro_batches=plan.micro_batches,
+                         schedule=plan.schedule)
+    if expect != plan.digest:
+        drifts.append(f"stale digest: snapshot {plan.digest[:12]} vs "
+                      f"current {expect[:12]} (planning inputs or "
+                      "cost-model sources changed; refresh the snapshot)")
+    fresh = plan_for(config, machine, plan.world_size, plan.gbs,
+                     pipeline=plan.pipeline,
+                     micro_batches=plan.micro_batches,
+                     schedule=plan.schedule,
+                     frontier_size=len(plan.frontier))
+    if fresh.chosen.layout_key != plan.chosen.layout_key:
+        drifts.append(f"chosen layout drifted: snapshot "
+                      f"{plan.chosen.layout_key} vs fresh "
+                      f"{fresh.chosen.layout_key}")
+    snap_keys = [c.layout_key for c in plan.frontier]
+    fresh_keys = [c.layout_key for c in fresh.frontier]
+    if snap_keys != fresh_keys:
+        drifts.append(f"frontier drifted: snapshot {snap_keys} vs fresh "
+                      f"{fresh_keys}")
+    else:
+        for old, new in zip(plan.frontier, fresh.frontier):
+            ref = max(abs(old.predicted_step_s), 1e-300)
+            if abs(old.predicted_step_s - new.predicted_step_s) / ref \
+                    > rel_tol:
+                drifts.append(
+                    f"{old.layout_key}: predicted_step_s "
+                    f"{old.predicted_step_s!r} -> "
+                    f"{new.predicted_step_s!r}")
+    if fresh.n_feasible != plan.n_feasible:
+        drifts.append(f"feasible count drifted: {plan.n_feasible} -> "
+                      f"{fresh.n_feasible}")
+    return drifts

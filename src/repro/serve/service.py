@@ -115,7 +115,8 @@ class ForecastService:
                  variable_names: Sequence[str] | None = None,
                  cluster=None, injector=None,
                  retry: RetryPolicy | None = None,
-                 validator=None, version: str = "v0"):
+                 validator=None, version: str = "v0",
+                 plan=None, machine=None):
         self.config = config if config is not None else ServiceConfig()
         self.router = router if router is not None else TierRouter()
         self.base = forecaster
@@ -125,8 +126,19 @@ class ForecastService:
         self.cache = ForecastCache(self.config.cache_bytes)
         self.queue = AdmissionQueue(self.router, self.config.queue)
         self.batcher = MicroBatcher(self.queue, self.config.batcher)
-        self.pool = ServeWorkerPool(self.config.n_workers, cluster=cluster,
-                                    injector=injector, retry=retry)
+        if plan is not None:
+            # A tuned plan overrides n_workers: pack as many replicas as
+            # its memory estimate says fit on one node of ``machine``.
+            if machine is None:
+                from ..perf.machine import AURORA
+                machine = AURORA
+            self.pool = ServeWorkerPool.from_plan(
+                plan, machine, cluster=cluster, injector=injector,
+                retry=retry)
+        else:
+            self.pool = ServeWorkerPool(self.config.n_workers,
+                                        cluster=cluster, injector=injector,
+                                        retry=retry)
         self.slo = SloTracker(self.router.policies)
         # Model versions.  Every loaded version gets a ModelBinding;
         # requests are pinned to a version at admission (by the optional

@@ -91,6 +91,35 @@ class ServeWorkerPool:
         self.dispatcher_rank = n_workers
         self.n_dispatches = 0
 
+    @classmethod
+    def from_plan(cls, plan, machine, *, max_workers: int = 8,
+                  cluster=None, injector=None,
+                  retry: RetryPolicy | None = None) -> "ServeWorkerPool":
+        """Size the replica pool from a :class:`TunedPlan` memory estimate.
+
+        One serving replica needs a full model-parallel group's worth of
+        memory — the plan's per-rank footprint times the ranks per DP
+        replica (a conservative bound: inference skips gradients and
+        optimizer state).  The pool packs as many replicas as fit in one
+        node of ``machine``, clamped to ``[1, max_workers]``.
+        """
+        ranks_per_replica = plan.chosen.world_size // plan.chosen.dp
+        per_replica_gb = plan.chosen.memory_gb * ranks_per_replica
+        node_gb = machine.tiles_per_node * machine.tile_memory_gb
+        if per_replica_gb > 0:
+            n = int(node_gb // per_replica_gb)
+        else:
+            n = max_workers
+        n = max(1, min(max_workers, n))
+        registry = _obs_metrics()
+        if registry is not None:
+            registry.gauge("serve.plan_workers",
+                           "replica count sized from the tuned plan").set(n)
+        _record_event("serve.plan_sized", subsystem="serve", n_workers=n,
+                      layout=plan.chosen.layout_key,
+                      memory_gb=plan.chosen.memory_gb)
+        return cls(n, cluster=cluster, injector=injector, retry=retry)
+
     def live_workers(self) -> list[WorkerState]:
         return [w for w in self.workers if w.alive]
 

@@ -40,6 +40,7 @@ run and a poisoned step —
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from dataclasses import dataclass
 
@@ -114,9 +115,28 @@ class Trainer:
 
     def __init__(self, model: Aeris, archive: SyntheticReanalysis,
                  config: TrainerConfig = TrainerConfig(),
-                 flow: TrigFlow = TrigFlow(), injector=None):
+                 flow: TrigFlow = TrigFlow(), injector=None,
+                 plan=None, machine=None):
         if model.config.channels != len(TOY_SET):
             raise ValueError("model channel count must match the archive")
+        # ``plan="auto"`` tunes the single-process layout (dp=pp=wp=sp=1,
+        # one batch-sized micro-batch) — the value here is the validated,
+        # content-addressed record of predicted step time and memory that
+        # obs/serve consume, not a different execution path.
+        self.plan = None
+        if plan is not None:
+            from ..parallel import autotune as _autotune
+            if machine is None:
+                machine = _autotune.MACHINES["aurora"]
+            self.plan = _autotune.resolve_plan(
+                plan, model.config, machine, 1, config.batch_size,
+                pipeline=False, micro_batches=(config.batch_size,))
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.gauge(
+                    "autotune.predicted_step_s",
+                    "chosen layout's predicted step time").set(
+                    self.plan.chosen.predicted_step_s)
         self.model = model
         self.archive = archive
         self.config = config
@@ -157,6 +177,7 @@ class Trainer:
 
     def _step_once(self, allow_retry: bool = False) -> float:
         cfg = self.config
+        t0 = time.perf_counter() if self.plan is not None else 0.0
         with _span("train.step", category="train", step=len(self.history)):
             with _span("train.data", category="train"):
                 indices = self.rng_batch.choice(
@@ -195,6 +216,13 @@ class Trainer:
                                     images_per_step=cfg.batch_size)
                 self._recover_lr_backoff()
         self.history.append(value)
+        if self.plan is not None:
+            registry = _obs_metrics()
+            if registry is not None:
+                registry.gauge(
+                    "autotune.observed_step_s",
+                    "last measured training step wall time").set(
+                    time.perf_counter() - t0)
         self._record_step_metrics(value)
         return value
 

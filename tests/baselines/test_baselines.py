@@ -95,6 +95,7 @@ class TestNumericalEnsemble:
         assert late > early
 
 
+@pytest.mark.slow
 class TestDeterministicBaseline:
     @pytest.fixture(scope="class")
     def det(self, tiny_archive):

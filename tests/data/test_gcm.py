@@ -95,6 +95,7 @@ class TestSeasonality:
 
 
 class TestEnso:
+    @pytest.mark.slow
     def test_oscillation_period(self, gcm):
         """The Niño index must oscillate on interannual timescales: the
         dominant spectral period should land in the 2–6 year ENSO band."""

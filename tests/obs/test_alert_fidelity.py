@@ -53,7 +53,7 @@ def _run(tmp_path, archive, plan, tag, check_injector=True):
         SupervisorConfig(seed=0, global_batch=8, gas=2, save_every=1,
                          checkpoint_root=str(tmp_path / tag),
                          max_restarts=4),
-        plan=plan)
+        fault_plan=plan)
     with obs.monitored() as m:
         sup.run(5)
         # Reconcile inside the scope so pull-detected alerts still route

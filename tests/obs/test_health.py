@@ -223,6 +223,37 @@ class TestPullDetectors:
         assert mon.check_forecast_cache(quiet) is None
         assert mon.alerts.kinds() == set()
 
+    def test_plan_skew_fires_on_overshoot(self):
+        reg = MetricsRegistry()
+        reg.gauge("autotune.predicted_step_s").set(0.1)
+        reg.gauge("autotune.observed_step_s").set(0.2)
+        mon = _monitor(plan_skew_frac=0.25)
+        result = mon.check_plan_skew(reg)
+        assert result["skew_frac"] == pytest.approx(1.0)
+        alerts = mon.alerts.select("autotune.plan_skew")
+        assert len(alerts) == 1 and alerts[0].severity == "warning"
+        assert "re-tune" in alerts[0].message
+
+    def test_plan_skew_quiet_within_tolerance_or_without_data(self):
+        reg = MetricsRegistry()
+        reg.gauge("autotune.predicted_step_s").set(0.1)
+        reg.gauge("autotune.observed_step_s").set(0.11)
+        mon = _monitor(plan_skew_frac=0.25)
+        assert mon.check_plan_skew(reg)["skew_frac"] == pytest.approx(0.1)
+        assert mon.alerts.kinds() == set()
+        # An untuned run never sets the gauges: no verdict at all.
+        assert mon.check_plan_skew(MetricsRegistry()) is None
+        # Faster than predicted is fine too (negative skew).
+        fast = MetricsRegistry()
+        fast.gauge("autotune.predicted_step_s").set(0.2)
+        fast.gauge("autotune.observed_step_s").set(0.05)
+        assert mon.check_plan_skew(fast)["skew_frac"] < 0
+        assert mon.alerts.kinds() == set()
+
+    def test_plan_skew_is_advisory_not_a_fault(self):
+        from repro.obs.health import FAULT_ALERT_KINDS
+        assert "autotune.plan_skew" not in FAULT_ALERT_KINDS
+
     def test_report_shape(self):
         mon = _monitor()
         mon.observe_step(0, 1.0)

@@ -49,7 +49,7 @@ def _run(tmp_path, archive, plan, tag, n_steps=N_STEPS, save_every=1,
                          save_every=save_every,
                          checkpoint_root=str(tmp_path / tag),
                          max_restarts=max_restarts),
-        plan=plan)
+        fault_plan=plan)
     out = sup.run(n_steps)
     return sup, out
 
@@ -204,6 +204,81 @@ class TestTopologyDegrade:
     def test_no_dead_is_identity(self):
         topo = RankTopology(dp=2, pp=2, wp_grid=(1, 1), sp=1)
         assert topo.degrade([]) is topo
+
+
+class TestAutotunedRecovery:
+    """Satellite coverage: a ``plan="auto"`` run re-tunes its layout after
+    a fail-stop — the re-planned layout must fit the survivors and the
+    run must finish with the executed topology matching the plan."""
+
+    WORLD = 12
+
+    def _tuned(self, tmp, archive, fault_plan, tag, n_steps=N_STEPS):
+        sup = ElasticSupervisor(
+            MICRO, archive,
+            config=SupervisorConfig(seed=0, global_batch=8,
+                                    save_every=1,
+                                    checkpoint_root=str(tmp / tag)),
+            fault_plan=fault_plan, plan="auto", world_size=self.WORLD)
+        out = sup.run(n_steps)
+        return sup, out
+
+    @pytest.fixture(scope="class")
+    def tuned_chaos(self, tmp_path_factory, tiny_archive):
+        tmp = tmp_path_factory.mktemp("tuned-chaos")
+        # Rank 4 sits at (dp=0, pp=1, wp=0, sp=0) in the tuned
+        # dp1.pp3.wp1x2.sp2 layout — a pipeline-spine rank whose death
+        # the engine's collectives actually observe.
+        plan = FaultPlan(events=(FailStop(rank=4, step=2),))
+        with observed() as (tracer, registry):
+            sup, out = self._tuned(tmp, tiny_archive, plan, "ck")
+        return sup, out, tracer, registry
+
+    def test_replanned_layout_fits_survivors(self, tuned_chaos):
+        sup, out, _, _ = tuned_chaos
+        assert len(out["recoveries"]) == 1
+        rec = out["recoveries"][0]
+        assert rec["replanned"] is True
+        old_world, new_world = rec["world_size"]
+        assert new_world < old_world <= self.WORLD
+        # The supervisor executes exactly the re-tuned plan's choice.
+        assert sup.topology == sup.plan.chosen_topology
+        assert sup.plan.chosen.world_size <= new_world
+        assert sup.gas == sup.plan.chosen.gas
+        assert rec["layout"].startswith(
+            f"dp{sup.topology.dp}.pp{sup.topology.pp}")
+
+    def test_training_completes_under_the_new_plan(self, tuned_chaos):
+        sup, out, _, _ = tuned_chaos
+        assert len(out["history"]) == N_STEPS
+        assert np.isfinite(out["history"]).all()
+        assert np.isfinite(sup.validation_loss())
+
+    def test_replan_is_booked(self, tuned_chaos):
+        _, _, _, registry = tuned_chaos
+        assert registry.counter("autotune.replans").total() == 1
+        assert registry.counter("autotune.plans").total() == 2  # plan+replan
+        assert registry.gauge("autotune.predicted_step_s").value() > 0
+        assert registry.gauge("autotune.observed_step_s").value() > 0
+
+    def test_autotune_check_passes_end_to_end(self, tuned_chaos):
+        """Acceptance: the report reconciles the executed topology with
+        the (re-tuned) plan on a full smoke run."""
+        sup, _, tracer, registry = tuned_chaos
+        report = TraceReport(tracer, registry)
+        result = report.autotune_check(sup.plan, topology=sup.topology,
+                                       config=MICRO)
+        assert result["agrees"], result
+        assert result["topology_matches"] is True
+        assert result["chosen_feasible"]
+        assert "autotune plan" in report.render()
+
+    def test_tuned_runs_are_bit_exact(self, tmp_path, tiny_archive):
+        """The plan changes scheduling inputs deterministically; two
+        identical tuned runs reproduce the same trajectory bit-for-bit."""
+        _, out_a = self._tuned(tmp_path, tiny_archive, None, "a", n_steps=3)
+        _, out_b = self._tuned(tmp_path, tiny_archive, None, "b", n_steps=3)
+        np.testing.assert_array_equal(out_a["history"], out_b["history"])
 
 
 class TestDegradeFitsSurvivors:

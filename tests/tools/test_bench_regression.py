@@ -117,6 +117,38 @@ class TestGate:
         assert gate.main(["--baseline", str(base),
                           "--current", str(cur)]) == 0
 
+    def test_missing_gated_leaf_is_a_hard_failure(self, dirs, capsys):
+        # A bench that silently stops emitting a gated metric must fail
+        # the gate (the classic escape hatch for a perf regression).
+        base, cur = dirs
+        dropped = copy.deepcopy(BASELINE)
+        del dropped["data"]["window_attention_forward"]["opt_ms_min"]
+        _write(cur, "BENCH_kernels.json", dropped)
+        assert gate.main(["--baseline", str(base),
+                          "--current", str(cur)]) == 1
+        err = capsys.readouterr().err
+        assert "opt_ms_min" in err
+        assert "missing from the current run" in err
+
+    def test_missing_derived_speedup_is_a_hard_failure(self, dirs, capsys):
+        base, cur = dirs
+        dropped = copy.deepcopy(BASELINE)
+        dropped["derived"].clear()
+        _write(cur, "BENCH_kernels.json", dropped)
+        assert gate.main(["--baseline", str(base),
+                          "--current", str(cur)]) == 1
+        assert "window_attention_forward_speedup" in \
+            capsys.readouterr().err
+
+    def test_missing_ungated_leaf_still_passes(self, dirs):
+        # Informational leaves (unclassified names) may come and go.
+        base, cur = dirs
+        dropped = copy.deepcopy(BASELINE)
+        del dropped["data"]["window_attention_forward"]["rounds"]
+        _write(cur, "BENCH_kernels.json", dropped)
+        assert gate.main(["--baseline", str(base),
+                          "--current", str(cur)]) == 0
+
     def test_no_common_files_is_an_error(self, tmp_path, capsys):
         base, cur = tmp_path / "b", tmp_path / "c"
         base.mkdir()

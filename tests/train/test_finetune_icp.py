@@ -27,6 +27,7 @@ def pretrained(tiny_archive):
 
 
 class TestMultistepFinetuning:
+    @pytest.mark.slow
     def test_finetune_runs_and_learns(self, tiny_archive, pretrained):
         model = Aeris(TINY16, seed=0)
         model.load_state_dict(pretrained.model.state_dict())

@@ -17,6 +17,11 @@ top-level keys.  Each leaf is classified by its key name:
 Checks are one-sided: getting *faster* never fails the gate (refresh the
 baselines to bank an improvement — see DESIGN.md "Performance").
 
+A gated baseline leaf that the current run no longer emits is a hard
+failure (exit 1) — silently skipping it would let a regression hide by
+deleting its metric; retire the leaf from the committed baseline
+alongside the bench change instead.
+
 Absolute time/space leaves are hardware-dependent, so they take their own
 (usually looser) tolerance via ``--tolerance-absolute``; derived ratios
 like ``*_speedup`` transfer across machines and stay tight.
@@ -102,16 +107,30 @@ def gated_leaves(payload: dict) -> dict[str, float]:
 
 def compare_file(name: str, baseline: dict, current: dict,
                  tolerance: float, tolerance_absolute: float
-                 ) -> tuple[list[Regression], int]:
+                 ) -> tuple[list[Regression], list[str], int]:
+    """Returns ``(regressions, missing_gated_paths, leaves_checked)``.
+
+    A *gated* baseline leaf absent from the current run is a hard
+    failure, not a skip: a silently dropped metric is exactly how a
+    perf regression escapes the gate (the bench stops emitting the
+    number, the gate stops checking it).  Ungated informational leaves
+    may come and go freely.
+    """
     base_leaves = gated_leaves(baseline)
     cur_leaves = gated_leaves(current)
     regressions: list[Regression] = []
+    missing: list[str] = []
     checked = 0
     for path, base in sorted(base_leaves.items()):
-        if path not in cur_leaves or base == 0:
-            continue
         better = classify(path.rsplit(".", 1)[-1])
         if better is None:
+            continue
+        if path not in cur_leaves:
+            missing.append(f"{name}: {path} (baseline {base:g}, gated "
+                           f"'{better} is better') missing from the "
+                           "current run")
+            continue
+        if base == 0:
             continue
         checked += 1
         cur = cur_leaves[path]
@@ -123,7 +142,7 @@ def compare_file(name: str, baseline: dict, current: dict,
                 file=name, path=path, baseline=base, current=cur,
                 ratio=delta, direction="higher" if better == "lower"
                 else "lower"))
-    return regressions, checked
+    return regressions, missing, checked
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -158,18 +177,29 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     all_regressions: list[Regression] = []
+    all_missing: list[str] = []
     total_checked = 0
     for name in names:
         with open(os.path.join(args.baseline, name)) as fh:
             baseline = json.load(fh)
         with open(os.path.join(args.current, name)) as fh:
             current = json.load(fh)
-        regressions, checked = compare_file(
+        regressions, missing, checked = compare_file(
             name, baseline, current, args.tolerance,
             args.tolerance_absolute)
         all_regressions.extend(regressions)
+        all_missing.extend(missing)
         total_checked += checked
 
+    if all_missing:
+        sys.stderr.write("gated baseline leaves missing from the current "
+                         "run:\n")
+        for item in all_missing:
+            sys.stderr.write(f"  {item}\n")
+        sys.stderr.write(f"{len(all_missing)} gated leaf/leaves "
+                         "disappeared; a bench that stops emitting a "
+                         "metric must also retire it from the committed "
+                         "baseline (see DESIGN.md).\n")
     if all_regressions:
         sys.stderr.write("benchmark regressions (vs committed baselines):\n")
         for reg in all_regressions:
@@ -177,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.write(f"{len(all_regressions)} regression(s) across "
                          f"{len(names)} file(s); if intentional, refresh "
                          "the baselines (see DESIGN.md).\n")
+    if all_regressions or all_missing:
         return 1
     sys.stdout.write(f"check_bench_regression: OK ({total_checked} leaves "
                      f"in {len(names)} files)\n")
