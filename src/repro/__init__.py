@@ -43,7 +43,8 @@ Quickstart::
 """
 
 from . import baselines, data, diffusion, eval, kernels, model, nn, obs
-from . import parallel, perf, registry, resilience, serve, tensor, train
+from . import parallel, perf, registry, resilience, serve, simtest, tensor
+from . import train
 from .data import ReanalysisConfig, SyntheticReanalysis
 from .diffusion import DpmSolver2S, ResidualForecaster, SolverConfig, TrigFlow
 from .model import SMALL, TABLE_II, TINY, Aeris, AerisConfig
@@ -54,6 +55,7 @@ __version__ = "1.0.0"
 __all__ = [
     "tensor", "nn", "kernels", "model", "diffusion", "data", "parallel", "perf",
     "train", "baselines", "eval", "obs", "resilience", "serve", "registry",
+    "simtest",
     "Aeris", "AerisConfig", "TABLE_II", "TINY", "SMALL",
     "TrigFlow", "DpmSolver2S", "SolverConfig", "ResidualForecaster",
     "SyntheticReanalysis", "ReanalysisConfig",

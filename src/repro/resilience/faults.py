@@ -105,8 +105,12 @@ class ComputeCorruption(ResilienceError):
     localization (kernel label, column index, parameter section, ...).
     """
 
-    def __init__(self, site: str, detail: str = ""):
+    def __init__(self, site: str, detail: str = "", sites=None):
         self.site = site
+        #: Every site implicated in this detection; a single state audit
+        #: can catch weight *and* optimizer corruption at once, and the
+        #: one rollback that follows closes all of them.
+        self.sites = tuple(sites) if sites else (site,)
         self.detail = detail
         suffix = f": {detail}" if detail else ""
         super().__init__(f"compute corruption in {site}{suffix}")
@@ -269,7 +273,10 @@ class FaultInjector:
             self._n[primitive] += 1
             self._n["*"] += 1
             for ev in plan.events:
-                if isinstance(ev, FailStop):
+                # Only comm-domain events carry a primitive; fail-stops
+                # are handled by advance()/raise_if_dead and compute
+                # faults by compute_fault().
+                if not isinstance(ev, (BitFlip, Drop, Straggle)):
                     continue
                 if ev.step != self.step or ev.primitive not in idx \
                         or ev.nth != idx[ev.primitive]:
@@ -334,14 +341,21 @@ class FaultInjector:
         """Scheduled state-corruption sites (``"weight"`` /
         ``"optimizer"``) due at the current step, each consumed exactly
         once — the guarded trainer applies them via
-        :meth:`corrupt_state` before running the step."""
+        :meth:`corrupt_state` before running the step.
+
+        Duplicate events for the same site at the same step collapse to
+        one: a CRC section audit detects "this section is corrupt", not
+        how many bits flipped, so booking a second injection that no
+        detector could ever count separately would make
+        detected-vs-injected reconciliation fail by construction."""
         sites: list[str] = []
         for ev in self.plan.events:
             if (isinstance(ev, ComputeFault)
                     and ev.site in ("weight", "optimizer")
                     and ev.step == self.step and ev not in self._spent_state):
                 self._spent_state.add(ev)
-                sites.append(ev.site)
+                if ev.site not in sites:
+                    sites.append(ev.site)
         return sites
 
     def corrupt_state(self, arrays, site: str) -> None:

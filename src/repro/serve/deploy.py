@@ -257,6 +257,12 @@ class DeploymentController:
         out-of-band, and compare.  The shadow never enters the queue —
         request conservation across the service is untouched."""
         req = response.request
+        if req.tier not in self.service.bindings[self.candidate].steppers:
+            # The candidate cannot serve this tier (e.g. deployed without
+            # a distilled student, so no "fast" sampler) — the router
+            # never sends it such traffic, and the shadow must apply the
+            # same guard instead of crashing the response hook.
+            return
         forecast = self.service.stepper(
             req.tier, self.candidate).ensemble_rollout(
             np.asarray(req.init_state, dtype=np.float32), req.n_steps,

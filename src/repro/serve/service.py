@@ -100,6 +100,11 @@ class ForecastService:
     cluster / injector / retry:
         Resilience wiring for the worker pool (see
         :class:`~repro.serve.ServeWorkerPool`).
+    duration_fn:
+        Optional ``result -> seconds`` virtual-duration model forwarded
+        to the worker pool; ``None`` keeps the default wall-clock
+        charging (deterministic simulation runs pass an analytic model
+        so the event loop replays bit-exactly).
     validator:
         Optional :class:`~repro.serve.ForecastValidator`.  When set,
         every served forecast is checked against per-variable physical
@@ -116,7 +121,7 @@ class ForecastService:
                  cluster=None, injector=None,
                  retry: RetryPolicy | None = None,
                  validator=None, version: str = "v0",
-                 plan=None, machine=None):
+                 plan=None, machine=None, duration_fn=None):
         self.config = config if config is not None else ServiceConfig()
         self.router = router if router is not None else TierRouter()
         self.base = forecaster
@@ -134,11 +139,12 @@ class ForecastService:
                 machine = AURORA
             self.pool = ServeWorkerPool.from_plan(
                 plan, machine, cluster=cluster, injector=injector,
-                retry=retry)
+                retry=retry, duration_fn=duration_fn)
         else:
             self.pool = ServeWorkerPool(self.config.n_workers,
                                         cluster=cluster, injector=injector,
-                                        retry=retry)
+                                        retry=retry,
+                                        duration_fn=duration_fn)
         self.slo = SloTracker(self.router.policies)
         # Model versions.  Every loaded version gets a ModelBinding;
         # requests are pinned to a version at admission (by the optional

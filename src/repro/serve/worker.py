@@ -74,10 +74,17 @@ class ServeWorkerPool:
     retry:
         Bounds how many worker failovers one batch may attempt before the
         pool escalates :class:`~repro.resilience.ClusterFailure`.
+    duration_fn:
+        Optional ``result -> seconds`` mapping a finished batch result to
+        its virtual service duration.  The default (``None``) charges the
+        measured wall time of the stacked forwards — realistic, but it
+        makes virtual completion times machine- and load-dependent.
+        Deterministic simulation runs pass a model (e.g. seconds per
+        stacked forward) so the whole event loop is bit-replayable.
     """
 
     def __init__(self, n_workers: int = 1, cluster=None, injector=None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None, duration_fn=None):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if cluster is not None and cluster.n_ranks < n_workers + 1:
@@ -88,13 +95,15 @@ class ServeWorkerPool:
         self.injector = injector if injector is not None else (
             cluster.injector if cluster is not None else None)
         self.retry = retry if retry is not None else RetryPolicy()
+        self.duration_fn = duration_fn
         self.dispatcher_rank = n_workers
         self.n_dispatches = 0
 
     @classmethod
     def from_plan(cls, plan, machine, *, max_workers: int = 8,
                   cluster=None, injector=None,
-                  retry: RetryPolicy | None = None) -> "ServeWorkerPool":
+                  retry: RetryPolicy | None = None,
+                  duration_fn=None) -> "ServeWorkerPool":
         """Size the replica pool from a :class:`TunedPlan` memory estimate.
 
         One serving replica needs a full model-parallel group's worth of
@@ -118,7 +127,8 @@ class ServeWorkerPool:
         _record_event("serve.plan_sized", subsystem="serve", n_workers=n,
                       layout=plan.chosen.layout_key,
                       memory_gb=plan.chosen.memory_gb)
-        return cls(n, cluster=cluster, injector=injector, retry=retry)
+        return cls(n, cluster=cluster, injector=injector, retry=retry,
+                   duration_fn=duration_fn)
 
     def live_workers(self) -> list[WorkerState]:
         return [w for w in self.workers if w.alive]
@@ -235,7 +245,10 @@ class ServeWorkerPool:
             with _span("serve.forward", category="serve",
                        worker=worker.rank):
                 result = execute()
-            duration = time.perf_counter() - wall0
+            if self.duration_fn is not None:
+                duration = float(self.duration_fn(result))
+            else:
+                duration = time.perf_counter() - wall0
             end = start + duration
             worker.free_at = end
             worker.batches_served += 1

@@ -1,0 +1,28 @@
+"""Deterministic simulation testing for the whole stack.
+
+One uint64 seed expands into a complete scenario — workload, cluster
+shape, scheduled fault events, background fault rates, serve load,
+checkpoint cadence, optionally a mid-run canary deployment — which runs
+on the repo's virtual-clock loops and is judged against a registry of
+cross-cutting invariants.  Failures shrink (delta debugging) to minimal
+JSON repros that replay bit-exactly.
+
+See ``tools/simtest_cli.py`` for the ``run | replay | shrink`` driver
+and ``tests/simtest/`` for the committed repro corpus.
+"""
+
+from .invariants import Invariant, InvariantRegistry, Violation
+from .runner import (RunResult, SimRunner, SimWorld, load_repro,
+                     violations_fingerprint, write_repro)
+from .scenario import (SCHEMA_VERSION, DeployParams, Scenario, ScenarioGen,
+                       ServeParams, TrainParams)
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "SCHEMA_VERSION", "Scenario", "ScenarioGen",
+    "TrainParams", "ServeParams", "DeployParams",
+    "Violation", "Invariant", "InvariantRegistry",
+    "SimWorld", "SimRunner", "RunResult",
+    "write_repro", "load_repro", "violations_fingerprint",
+    "ShrinkResult", "shrink",
+]

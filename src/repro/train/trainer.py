@@ -309,11 +309,15 @@ class Trainer:
     def _audit_state(self, step: int) -> None:
         """CRC the live weight/optimizer shards against the retained
         clean state — catches at-rest corruption before it is trained
-        into the trajectory."""
-        for site in ("weight", "optimizer"):
-            if self._section_crc(self._state_arrays(site)) \
-                    == self._retained["crc"][site]:
-                continue
+        into the trajectory.  Both sections are audited (and each
+        corrupted one booked as detected) before raising: a single
+        rollback heals weight *and* optimizer corruption together, so
+        stopping at the first mismatch would leave the second section's
+        corruption healed-but-never-counted."""
+        corrupted = [site for site in ("weight", "optimizer")
+                     if self._section_crc(self._state_arrays(site))
+                     != self._retained["crc"][site]]
+        for site in corrupted:
             registry = _obs_metrics()
             if registry is not None:
                 registry.counter("resilience.sdc_detected",
@@ -324,9 +328,11 @@ class Trainer:
             with _span("resilience.sdc", category="resilience", site=site,
                        step=step):
                 pass
+        if corrupted:
             raise ComputeCorruption(
-                site, f"state checksum mismatch in {site} section "
-                      f"at step {step}")
+                corrupted[0],
+                f"state checksum mismatch in {' and '.join(corrupted)} "
+                f"section at step {step}", sites=corrupted)
 
     def _rollback(self, step: int, attempt: int, exc: Exception) -> None:
         """Restore the retained micro-state (weights, moments, EMA,
@@ -356,9 +362,16 @@ class Trainer:
         self.step_retries += 1
         registry = _obs_metrics()
         if registry is not None:
-            registry.counter("train.step_retries",
-                             "steps rolled back and recomputed").inc(
-                1, cause=cause)
+            # one increment per *closed detection*, not per rollback: a
+            # single state audit can implicate several sites, and this
+            # one rollback heals them all (sdc_check reconciles retries
+            # against detections 1:1)
+            causes = (exc.sites if isinstance(exc, ComputeCorruption)
+                      else (cause,))
+            for site in causes:
+                registry.counter("train.step_retries",
+                                 "steps rolled back and recomputed").inc(
+                    1, cause=site)
         _record_event("train.step_rollback", subsystem="train",
                       severity="warning", step=step, attempt=attempt,
                       cause=cause, detail=str(exc))

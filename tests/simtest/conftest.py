@@ -1,0 +1,30 @@
+"""Simulation-testing fixtures.
+
+The heavy shared state (archives, the serve model pair) is built once
+per session and injected into :class:`~repro.simtest.SimWorld`, so the
+scenario tests pay model-construction cost once instead of per test.
+"""
+
+import pytest
+
+from repro import quickstart_components
+from repro.model import Aeris
+from repro.simtest import SimRunner, SimWorld
+
+
+@pytest.fixture(scope="session")
+def sim_world(tiny_archive) -> SimWorld:
+    archive, trainer = quickstart_components(height=8, width=16,
+                                             train_years=0.2,
+                                             test_years=0.1)
+    forecaster = trainer.forecaster()
+    student = Aeris(forecaster.model.config, seed=3)
+    test_indices = [int(i) for i in archive.split_indices("test")[:4]]
+    return SimWorld(train_archive=tiny_archive,
+                    serve_components=(archive, forecaster, student,
+                                      test_indices))
+
+
+@pytest.fixture(scope="session")
+def sim_runner(sim_world) -> SimRunner:
+    return SimRunner(world=sim_world)

@@ -1,0 +1,39 @@
+"""Corpus replay gate: every committed repro must reproduce its recorded
+violation set **bit-exactly** on the current tree.
+
+The corpus holds shrunk repros of real failures plus hand-picked
+near-miss scenarios (expected-clean runs that sit on top of previously
+fixed bugs — see each file's ``note``).  A mismatch in either direction
+is a finding: new violations mean a regression, vanished violations mean
+the repro no longer covers what it was committed to cover.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.simtest import SCHEMA_VERSION, load_repro
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_seeded():
+    assert len(CORPUS) >= 3, "simtest corpus must stay populated"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_repro_replays_bit_exactly(path, sim_runner):
+    repro = load_repro(path)
+    assert repro["schema"] == SCHEMA_VERSION
+    result, expected, match = sim_runner.replay(repro)
+    assert match, {
+        "expected": [v.to_dict() for v in expected],
+        "actual": [v.to_dict() for v in result.violations],
+        "outcome": result.outcome,
+        "note": repro.get("note", ""),
+    }
+    assert result.outcome == repro["outcome"]

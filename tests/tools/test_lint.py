@@ -12,6 +12,7 @@ sys.path.insert(0, TOOLS_DIR)
 
 import check_bare_except  # noqa: E402
 import check_no_print  # noqa: E402
+import check_seeded_rng  # noqa: E402
 import lint  # noqa: E402
 import walklib  # noqa: E402
 
@@ -144,4 +145,56 @@ class TestLintEntrypoint:
 
     def test_registry_covers_every_checker(self):
         assert set(lint.CHECKERS) == {"check_no_print", "check_bare_except",
-                                      "check_metric_names"}
+                                      "check_metric_names",
+                                      "check_seeded_rng"}
+
+
+class TestCheckSeededRng:
+    def test_flags_random_module_imports(self, tmp_path, capsys):
+        bad = tmp_path / "uses_random.py"
+        bad.write_text(
+            "import random\n"
+            "from random import choice\n"
+            "def f():\n"
+            "    return random.random() + len(str(choice([1])))\n")
+        assert check_seeded_rng.main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "uses_random.py:1" in err and "uses_random.py:2" in err
+
+    def test_flags_global_numpy_generator(self, tmp_path, capsys):
+        bad = tmp_path / "legacy_np.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def f():\n"
+            "    np.random.seed(0)\n"
+            "    return np.random.rand(3)\n")
+        assert check_seeded_rng.main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "legacy_np.py:3" in err and "legacy_np.py:4" in err
+
+    def test_seeded_constructs_pass(self, tmp_path):
+        good = tmp_path / "seeded.py"
+        good.write_text(
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    gen = np.random.Generator(np.random.PCG64(seed))\n"
+            "    return rng.random() + gen.random()\n")
+        assert check_seeded_rng.main([str(tmp_path)]) == 0
+
+    def test_word_random_in_other_contexts_is_fine(self, tmp_path):
+        good = tmp_path / "mentions.py"
+        good.write_text(
+            '"""import random would be bad."""\n'
+            "# np.random.rand in a comment\n"
+            "def f(rng):\n"
+            "    return rng.random()\n")
+        assert check_seeded_rng.main([str(tmp_path)]) == 0
+
+    def test_unparseable_file_is_skipped(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n")
+        assert check_seeded_rng.unseeded_rng(str(broken)) == []
+
+    def test_repo_src_is_clean(self):
+        assert check_seeded_rng.main(None) == 0

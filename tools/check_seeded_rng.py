@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Lint: no unseeded / module-level randomness in ``src/repro/``.
+
+The simulation-testing harness (``repro.simtest``) relies on every run
+being a pure function of its scenario: replaying a committed repro must
+reproduce the identical violation set bit-for-bit.  The stdlib
+``random`` module and NumPy's legacy global generator
+(``np.random.rand()``, ``np.random.seed()``, ...) both draw from hidden
+process-global state, so one stray call anywhere in the stack silently
+breaks replay — and, worse, only for whoever imports modules in a
+different order.
+
+Flagged (AST-based):
+
+* ``import random`` / ``from random import ...`` — the stdlib module is
+  global-state RNG by construction;
+* ``np.random.<fn>(...)`` / ``numpy.random.<fn>`` attribute access where
+  ``<fn>`` is not an explicitly-seeded construct (``default_rng``,
+  ``Generator``, the bit generators, ``SeedSequence``).
+
+Draw from ``np.random.default_rng(seed)`` (or a ``Generator`` threaded
+through from one) instead.  Exits non-zero listing ``file:line``
+locations.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from walklib import iter_python_files, relpath, resolve_roots
+
+#: ``np.random`` attributes that are explicitly-seeded constructs, not
+#: draws from the hidden global state.
+SEEDED_CONSTRUCTS = frozenset({
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: Names the ``numpy`` module is commonly bound to.
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def _random_module_imports(tree: ast.AST) -> list[tuple[int, str]]:
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(
+                        "random."):
+                    out.append((node.lineno,
+                                "import random (global-state RNG; use "
+                                "np.random.default_rng(seed))"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                out.append((node.lineno,
+                            "from random import ... (global-state RNG; "
+                            "use np.random.default_rng(seed))"))
+    return out
+
+
+def _global_numpy_rng(tree: ast.AST) -> list[tuple[int, str]]:
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        # match <np|numpy>.random.<fn> where fn is a hidden-state draw
+        if not isinstance(node, ast.Attribute):
+            continue
+        base = node.value
+        if not (isinstance(base, ast.Attribute) and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in _NUMPY_ALIASES):
+            continue
+        if node.attr in SEEDED_CONSTRUCTS:
+            continue
+        out.append((node.lineno,
+                    f"np.random.{node.attr} draws from the global "
+                    "generator (use np.random.default_rng(seed))"))
+    return out
+
+
+def unseeded_rng(path: str) -> list[tuple[int, str]]:
+    """``(line, reason)`` pairs for every unseeded-randomness use."""
+    with open(path, "rb") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # unparseable files are some other tool's problem
+    return sorted(_random_module_imports(tree) + _global_numpy_rng(tree))
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = resolve_roots(argv, program="check_seeded_rng")
+    if roots is None:
+        return 2
+    violations: list[str] = []
+    for path in iter_python_files(roots):
+        for line, reason in unseeded_rng(path):
+            violations.append(f"{relpath(path)}:{line}: {reason}")
+    if violations:
+        sys.stderr.write("\n".join(violations) + "\n")
+        return 1
+    sys.stdout.write(f"check_seeded_rng: OK ({len(roots)} root"
+                     f"{'s' if len(roots) != 1 else ''})\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,12 +21,14 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_bare_except
 import check_metric_names
 import check_no_print
+import check_seeded_rng
 
 #: name -> main(argv) callable; extend to register a new checker.
 CHECKERS = {
     "check_no_print": check_no_print.main,
     "check_bare_except": check_bare_except.main,
     "check_metric_names": check_metric_names.main,
+    "check_seeded_rng": check_seeded_rng.main,
 }
 
 
